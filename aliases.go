@@ -1,0 +1,87 @@
+package tca
+
+import (
+	"tca/internal/bench"
+	"tca/internal/core"
+	"tca/internal/pcie"
+	"tca/internal/peach2"
+	"tca/internal/tcanet"
+	"tca/internal/units"
+)
+
+// The simulator's working vocabulary, re-exported so downstream code needs
+// only this package.
+type (
+	// ByteSize is a byte count; it prints in the power-of-two units the
+	// paper uses ("4KiB").
+	ByteSize = units.ByteSize
+	// Bandwidth is bytes per second ("3.3GB/s").
+	Bandwidth = units.Bandwidth
+	// Duration is simulated time in picoseconds ("782ns").
+	Duration = units.Duration
+	// Addr is a 64-bit PCIe bus address; global TCA addresses live in
+	// the 512 GiB shared window.
+	Addr = pcie.Addr
+
+	// Comm is the full TCA communicator (descriptor chains, PIO, flags,
+	// block-stride transfers).
+	Comm = core.Comm
+	// GPUBuffer is a GPUDirect-pinned GPU allocation.
+	GPUBuffer = core.GPUBuffer
+	// HostBuffer is a registered host-memory region.
+	HostBuffer = core.HostBuffer
+	// BlockStride describes a strided (multidimensional-array) transfer.
+	BlockStride = core.BlockStride
+	// DMAMode selects the DMA controller generation.
+	DMAMode = core.DMAMode
+
+	// SubCluster is the wired fabric: nodes, chips, address plan.
+	SubCluster = tcanet.SubCluster
+	// Params is the full hardware parameter set.
+	Params = tcanet.Params
+	// Descriptor is one chaining-DMA table entry.
+	Descriptor = peach2.Descriptor
+
+	// Table is a regenerated paper table/figure.
+	Table = bench.Table
+	// Experiment couples a table/figure ID with its generator and
+	// shape check.
+	Experiment = bench.Experiment
+)
+
+// Size units.
+const (
+	KiB = units.KiB
+	MiB = units.MiB
+	GiB = units.GiB
+)
+
+// Time units.
+const (
+	Nanosecond  = units.Nanosecond
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+)
+
+// DMA controller generations (§IV-B2).
+const (
+	// TwoPhase stages host/GPU-sourced remote puts through PEACH2's
+	// internal memory — the paper's current DMAC.
+	TwoPhase = core.TwoPhase
+	// Pipelined overlaps the local read and the remote write — the
+	// paper's announced new DMAC.
+	Pipelined = core.Pipelined
+)
+
+// DefaultParams reproduces the paper's test environment (Table II) and its
+// measured numbers: 3.66 GB/s theoretical peak, ~3.3 GB/s chained-write
+// peak, 782 ns loopback PIO latency, ~0.83 GB/s GPU-read ceiling.
+func DefaultParams() Params { return tcanet.DefaultParams }
+
+// Experiments returns the registry regenerating every table and figure of
+// the paper plus the DESIGN.md ablations.
+func Experiments() []Experiment { return bench.All() }
+
+// FindExperiment looks an experiment up by ID (case-insensitive), e.g.
+// "Fig7", "LatencyPIO", "Baseline".
+func FindExperiment(id string) (Experiment, bool) { return bench.Find(id) }

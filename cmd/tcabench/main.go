@@ -1,0 +1,95 @@
+// Command tcabench regenerates the paper's tables and figures.
+//
+//	tcabench -list               # show every experiment
+//	tcabench -exp fig7,fig9      # run selected experiments
+//	tcabench -exp all            # run the full evaluation (§IV + ablations)
+//	tcabench -exp fig12 -csv     # machine-readable output
+//	tcabench -exp all -check     # also apply the shape checks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tca/internal/bench"
+	"tca/internal/tcanet"
+	"tca/internal/units"
+)
+
+// durToSim converts a wall-clock flag value into simulated time.
+func durToSim(d time.Duration) units.Duration {
+	return units.Duration(d.Nanoseconds()) * units.Nanosecond
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		check    = flag.Bool("check", false, "apply each experiment's paper-shape check")
+		cable    = flag.Duration("cable", 0, "override the external-cable latency (e.g. 150ns)")
+		parallel = flag.Bool("parallel", false, "run experiments concurrently (identical results; each owns its engine)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("  %-18s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	prm := tcanet.DefaultParams
+	if *cable > 0 {
+		prm.CableProp = durToSim(*cable)
+	}
+
+	var selected []bench.Experiment
+	if strings.EqualFold(*exp, "all") {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var tables []*bench.Table
+	if *parallel {
+		tables = bench.RunParallel(prm, selected)
+	}
+
+	failed := 0
+	for i, e := range selected {
+		var tab *bench.Table
+		if *parallel {
+			tab = tables[i]
+		} else {
+			tab = e.Run(prm)
+		}
+		if *csv {
+			tab.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			tab.Format(os.Stdout)
+		}
+		if *check && e.Check != nil {
+			if err := e.Check(tab); err != nil {
+				fmt.Fprintf(os.Stderr, "tcabench: %s: SHAPE CHECK FAILED: %v\n", e.ID, err)
+				failed++
+			} else {
+				fmt.Printf("  shape check: OK\n\n")
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Command tcaspec prints the paper's hardware inventory (Tables I and II)
+// and the §IV-A theoretical-peak arithmetic as computed from the
+// simulator's own PCIe constants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tca/internal/bench"
+	"tca/internal/pcie"
+)
+
+func main() {
+	var formula = flag.Bool("formula", false, "print only the peak-bandwidth derivation")
+	flag.Parse()
+
+	if *formula {
+		printFormula()
+		return
+	}
+	bench.TableI().Format(os.Stdout)
+	bench.TableII().Format(os.Stdout)
+	bench.TheoreticalPeak().Format(os.Stdout)
+}
+
+func printFormula() {
+	cfg := pcie.Gen2x8
+	fmt.Printf("PCIe %v:\n", cfg)
+	fmt.Printf("  %.1f GT/s × %d lanes × %.2f (8b/10b) / 8 = %.2f GB/s raw\n",
+		cfg.Gen.TransferRate()/1e9, cfg.Lanes, cfg.Gen.EncodingEfficiency(), cfg.RawBandwidth().GBps())
+	mp := pcie.DefaultMaxPayload
+	fmt.Printf("  per-TLP: %dB payload + %dB overhead (TL %d + seq %d + LCRC %d + framing %d)\n",
+		mp, pcie.TLPOverhead, pcie.TLHeaderBytes, pcie.DLLSeqBytes, pcie.DLLLCRCBytes, pcie.PHYFrameBytes)
+	fmt.Printf("  effective = %.2f GB/s × %d/%d = %.2f GB/s\n",
+		cfg.RawBandwidth().GBps(), mp, mp+pcie.TLPOverhead,
+		cfg.EffectiveBandwidth(mp).GBps())
+}

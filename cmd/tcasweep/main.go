@@ -1,0 +1,58 @@
+// Command tcasweep runs parameter-sensitivity sweeps over the simulator's
+// calibrated constants, separating what the TCA architecture gives from
+// what the parameter choices give.
+//
+//	tcasweep -list
+//	tcasweep -sweep issue
+//	tcasweep -sweep cable,credits -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tca/internal/bench"
+	"tca/internal/tcanet"
+)
+
+func main() {
+	var (
+		sweep = flag.String("sweep", "all", "comma-separated sweep names, or 'all'")
+		list  = flag.Bool("list", false, "list available sweeps and exit")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	reg := bench.Sweeps()
+	if *list {
+		for _, name := range bench.SweepNames() {
+			fmt.Println(" ", name)
+		}
+		return
+	}
+
+	var names []string
+	if strings.EqualFold(*sweep, "all") {
+		names = bench.SweepNames()
+	} else {
+		for _, n := range strings.Split(*sweep, ",") {
+			n = strings.TrimSpace(n)
+			if _, ok := reg[n]; !ok {
+				fmt.Fprintf(os.Stderr, "tcasweep: unknown sweep %q (use -list)\n", n)
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+	}
+	for _, n := range names {
+		tab := reg[n](tcanet.DefaultParams)
+		if *csv {
+			tab.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			tab.Format(os.Stdout)
+		}
+	}
+}

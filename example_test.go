@@ -1,0 +1,62 @@
+package tca_test
+
+import (
+	"fmt"
+	"log"
+
+	"tca"
+)
+
+// The canonical TCA workflow: build a sub-cluster, pin GPU memory on two
+// nodes, and move data with the cross-node cudaMemcpyPeer extension.
+func Example() {
+	cl, err := tca.NewCluster(4, tca.WithDMAMode(tca.Pipelined))
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, _ := cl.AllocGPU(0, 0, 64*tca.KiB)
+	dst, _ := cl.AllocGPU(2, 1, 64*tca.KiB)
+	payload := []byte("tightly coupled accelerators")
+	if err := cl.WriteGPU(src, 0, payload); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cl.MemcpyPeerSync(dst, 0, src, 0, tca.ByteSize(len(payload))); err != nil {
+		log.Fatal(err)
+	}
+	got, _ := cl.ReadGPU(dst, 0, tca.ByteSize(len(payload)))
+	fmt.Printf("%s\n", got)
+	// Output: tightly coupled accelerators
+}
+
+// PIO is the short-message mode: a CPU store lands in a remote node's host
+// memory in under a microsecond (the paper's §IV-B1 measures 782 ns through
+// two chips). The simulation is deterministic, so the latency is exact.
+func ExampleCluster_PIOPut() {
+	cl, err := tca.NewCluster(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf, _ := cl.AllocHost(1, 4*tca.KiB)
+	dst, _ := cl.GlobalHost(buf, 0)
+	var seen tca.Duration
+	cl.WaitFlag(buf, 0, func(at tca.Duration) { seen = at })
+	if err := cl.PIOPut(0, dst, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		log.Fatal(err)
+	}
+	cl.Run()
+	fmt.Println(seen)
+	// Output: 786.1ns
+}
+
+// The experiment registry regenerates every table and figure of the paper.
+func ExampleFindExperiment() {
+	e, ok := tca.FindExperiment("Fig9")
+	if !ok {
+		log.Fatal("missing")
+	}
+	tab := e.Run(tca.DefaultParams())
+	four, _ := tab.Value("4", "CPU write")
+	max, _ := tab.Value("255", "CPU write")
+	fmt.Printf("4 requests reach %.0f%% of the maximum\n", 100*four/max)
+	// Output: 4 requests reach 70% of the maximum
+}

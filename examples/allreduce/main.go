@@ -1,0 +1,188 @@
+// Allreduce: a ring allreduce (sum) over an 8-node TCA sub-cluster,
+// entirely on TCA primitives — chained-DMA puts for the data and PIO flag
+// stores for synchronization, with no MPI underneath ("applications on the
+// TCA sub-cluster do not rely on the MPI software stack", §V).
+//
+// The classic algorithm: n-1 reduce-scatter steps, each node streaming one
+// vector chunk to its ring successor and accumulating the chunk arriving
+// from its predecessor; then n-1 allgather steps circulating the fully
+// reduced chunks. Flags are delivered *after* the data chain's completion
+// interrupt, so the driver-level ordering guarantee (remote host writes are
+// flushed before the IRQ) makes the data race-free.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"tca"
+)
+
+const (
+	n      = 8   // nodes in the ring
+	chunkN = 128 // float64 per chunk
+	chunk  = chunkN * 8
+	vecLen = n * chunk // whole vector, one chunk per node
+)
+
+// peer is a node-local view of the collective: its vector, its inbox, and
+// its step counters.
+type peer struct {
+	rank  int
+	vec   tca.HostBuffer // n chunks
+	inbox tca.HostBuffer // staging chunk + flag word
+	step  int            // completed incoming steps (1..2(n-1))
+	sent  int            // completed outgoing steps
+}
+
+func main() {
+	cl, err := tca.NewCluster(n, tca.WithDMAMode(tca.Pipelined))
+	if err != nil {
+		log.Fatal(err)
+	}
+	peers := make([]*peer, n)
+	for i := range peers {
+		vec, err := cl.AllocHost(i, vecLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inbox, err := cl.AllocHost(i, chunk+8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers[i] = &peer{rank: i, vec: vec, inbox: inbox}
+		// v_i[j] = (i+1) + j, so the reduced vector is n(n+1)/2 + n*j.
+		buf := make([]byte, vecLen)
+		for j := 0; j < n*chunkN; j++ {
+			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(float64(i+1)+float64(j)))
+		}
+		if err := cl.WriteHost(vec, 0, buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	done := 0
+	for _, p := range peers {
+		p := p
+		// Persistent watch on the inbox flag: each firing is one
+		// incoming step from the ring predecessor.
+		cl.WaitFlag(p.inbox, chunk, func(at tca.Duration) {
+			onFlag(cl, peers, p, &done)
+		})
+	}
+
+	start := cl.Now()
+	for _, p := range peers {
+		sendStep(cl, peers, p, 1)
+	}
+	cl.Run()
+	if done != n {
+		log.Fatalf("only %d/%d nodes finished", done, n)
+	}
+	elapsed := cl.Now() - start
+
+	// Verify every element on every node.
+	want := float64(n*(n+1)) / 2
+	for _, p := range peers {
+		buf, err := cl.ReadHost(p.vec, 0, vecLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := 0; j < n*chunkN; j++ {
+			got := math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+			if got != want+float64(n*j) {
+				log.Fatalf("node %d element %d: got %v want %v", p.rank, j, got, want+float64(n*j))
+			}
+		}
+	}
+	fmt.Printf("ring allreduce over %d nodes, %d float64 (%d bytes): %v\n",
+		n, n*chunkN, vecLen, elapsed)
+	fmt.Printf("  %d steps (%d reduce-scatter + %d allgather), data by chained DMA put, sync by PIO flags\n",
+		2*(n-1), n-1, n-1)
+	fmt.Println("  all elements verified on every node — no MPI anywhere in the path")
+}
+
+// chunkIndexToSend returns which chunk rank emits at 1-based step s.
+func chunkIndexToSend(rank, s int) int {
+	if s <= n-1 { // reduce-scatter
+		return ((rank-(s-1))%n + n) % n
+	}
+	// allgather: at step n the node emits the chunk it fully reduced,
+	// (rank+1) mod n, then keeps forwarding what it just received.
+	return ((rank+1-(s-n))%n + n) % n
+}
+
+// sendStep streams this node's step-s chunk into its successor's inbox,
+// then (after the chain's completion interrupt — data flushed) raises the
+// successor's flag with the step number via PIO.
+func sendStep(cl *tca.Cluster, peers []*peer, p *peer, s int) {
+	if s > 2*(n-1) {
+		return
+	}
+	next := peers[(p.rank+1)%n]
+	ci := chunkIndexToSend(p.rank, s)
+	flagGlobal, err := cl.GlobalHost(next.inbox, chunk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cl.PutToHost(next.inbox, 0, p.rank, p.vec.Bus+tca.Addr(ci*chunk), chunk,
+		wrapDone(func() {
+			p.sent = s
+			if err := cl.WriteFlag(p.rank, flagGlobal, uint64(s)); err != nil {
+				log.Fatal(err)
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// onFlag handles one incoming step: fold or store the staged chunk, then
+// send the next step once both the matching send and receive are done.
+func onFlag(cl *tca.Cluster, peers []*peer, p *peer, done *int) {
+	flagBytes, err := cl.ReadHost(p.inbox, chunk, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := int(binary.LittleEndian.Uint64(flagBytes))
+	if s != p.step+1 {
+		log.Fatalf("node %d: flag for step %d while at step %d", p.rank, s, p.step)
+	}
+	p.step = s
+
+	// The predecessor sent chunk chunkIndexToSend(rank-1, s).
+	ci := chunkIndexToSend((p.rank-1+n)%n, s)
+	in, err := cl.ReadHost(p.inbox, 0, chunk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if s <= n-1 {
+		// Reduce-scatter: accumulate into our copy of that chunk.
+		cur, err := cl.ReadHost(p.vec, tca.ByteSize(ci*chunk), chunk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := 0; j < chunkN; j++ {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(cur[j*8:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(in[j*8:]))
+			binary.LittleEndian.PutUint64(cur[j*8:], math.Float64bits(a+b))
+		}
+		in = cur
+	}
+	if err := cl.WriteHost(p.vec, tca.ByteSize(ci*chunk), in); err != nil {
+		log.Fatal(err)
+	}
+
+	if s == 2*(n-1) {
+		*done++
+		return
+	}
+	sendStep(cl, peers, p, s+1)
+}
+
+// wrapDone adapts a plain closure to the facade's completion callback.
+func wrapDone(fn func()) func(tca.Duration) {
+	return func(tca.Duration) { fn() }
+}

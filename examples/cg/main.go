@@ -1,0 +1,74 @@
+// CG: a distributed conjugate-gradient solve of the 1-D Poisson equation
+// across a TCA sub-cluster — halo exchange by TCA put+flag, dot products by
+// the MPI-free ring allreduce, no MPI stack anywhere (§V, §VI).
+//
+// This traffic profile — thousands of 8-byte halo cells and scalar
+// reductions — is exactly the short-message regime the TCA architecture
+// was built for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tca"
+	"tca/internal/coll"
+	"tca/internal/solver"
+)
+
+func main() {
+	const nodes = 8
+	const N = 256
+
+	cl, err := tca.NewCluster(nodes, tca.WithDMAMode(tca.Pipelined))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc, err := coll.New(cl.Comm())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cg, err := solver.New(cl.Comm(), cc, N)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Manufacture a solution, build b = A x*, and solve from zero.
+	xStar := make([]float64, N)
+	for i := range xStar {
+		xStar[i] = math.Sin(0.13 * float64(i+1))
+	}
+	b := make([]float64, N)
+	for i := range xStar {
+		b[i] = 2 * xStar[i]
+		if i > 0 {
+			b[i] -= xStar[i-1]
+		}
+		if i < N-1 {
+			b[i] -= xStar[i+1]
+		}
+	}
+	if err := cg.SetB(b); err != nil {
+		log.Fatal(err)
+	}
+
+	var st solver.Stats
+	cg.Solve(1e-10, 4*N, func(s solver.Stats) { st = s })
+	cl.Run()
+
+	maxErr := 0.0
+	for i, got := range cg.X() {
+		if e := math.Abs(got - xStar[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("distributed CG on %d nodes, %d unknowns:\n", nodes, N)
+	fmt.Printf("  converged in %d iterations, residual %.2e, max error %.2e\n",
+		st.Iterations, st.Residual, maxErr)
+	fmt.Printf("  simulated communication time: %v (%v per iteration)\n",
+		st.Elapsed, st.Elapsed/tca.Duration(st.Iterations))
+	perIter := 2*(nodes-1)*2 + 2 // halo puts + 2 allreduce rounds of puts (approx)
+	fmt.Printf("  per iteration: ~%d TCA messages — all in the 8-byte class the paper's\n", perIter)
+	fmt.Println("  PIO/DMA latency advantage targets (§I: short messages dominate)")
+}

@@ -1,0 +1,3 @@
+module tca
+
+go 1.22

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+
+	"tca/internal/tcanet"
+)
+
+// RunParallel executes experiments concurrently, one goroutine per
+// experiment up to GOMAXPROCS workers. Every experiment builds its own
+// simulation engine, so runs share nothing and the results are identical
+// to serial execution — the discrete-event engines are deterministic and
+// independent.
+func RunParallel(prm tcanet.Params, exps []Experiment) []*Table {
+	results := make([]*Table, len(exps))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = exps[i].Run(prm)
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,132 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§IV), plus the ablations DESIGN.md
+// calls out. Each experiment builds a fresh, deterministic sub-cluster,
+// drives it through the real driver paths (descriptor tables, doorbell
+// stores, completion interrupts, polling), and reports the same rows and
+// series the paper plots, annotated with the paper's expected values.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one regenerated figure or table.
+type Table struct {
+	// ID is the experiment identifier ("Fig7", "TableI", "LatencyPIO").
+	ID string
+	// Title restates what the paper's artifact shows.
+	Title string
+	// XLabel names the row key column.
+	XLabel string
+	// Columns are the series names.
+	Columns []string
+	// Rows are the measurements.
+	Rows []Row
+	// Notes carry the paper's expectations and modelling caveats.
+	Notes []string
+}
+
+// Row is one x-position of a figure, or one line of a spec table.
+type Row struct {
+	X    string
+	Vals []string
+}
+
+// AddRow appends a measurement row; values are pre-formatted so a column
+// can mix units (the spec tables) or carry annotated numbers.
+func (t *Table) AddRow(x string, vals ...string) {
+	t.Rows = append(t.Rows, Row{X: x, Vals: vals})
+}
+
+// AddNote appends an annotation line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+		for _, r := range t.Rows {
+			if i < len(r.Vals) && len(r.Vals[i]) > widths[i+1] {
+				widths[i+1] = len(r.Vals[i])
+			}
+		}
+	}
+	line := func(x string, vals []string) {
+		fmt.Fprintf(w, "  %-*s", widths[0], x)
+		for i := range t.Columns {
+			v := ""
+			if i < len(vals) {
+				v = vals[i]
+			}
+			fmt.Fprintf(w, "  %*s", widths[i+1], v)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.XLabel, t.Columns)
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", sum(widths)+2*len(widths)))
+	for _, r := range t.Rows {
+		line(r.X, r.Vals)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// CSV renders the table as comma-separated values (notes become comment
+// lines).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintf(w, "%s", csvEscape(t.XLabel))
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, ",%s", csvEscape(c))
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%s", csvEscape(r.X))
+		for i := range t.Columns {
+			v := ""
+			if i < len(r.Vals) {
+				v = r.Vals[i]
+			}
+			fmt.Fprintf(w, ",%s", csvEscape(v))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// GB formats a GB/s value the way the paper's axes read.
+func GB(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// US formats a microsecond value.
+func US(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tca/internal/sim"
+	"tca/internal/tcanet"
+	"tca/internal/units"
+)
+
+// TestRandomTransferPlans generates randomized communication plans —
+// arbitrary mixes of PIO puts, DMA puts (both modes), GPU and host
+// endpoints, all nodes transmitting concurrently — executes them on one
+// sub-cluster, and byte-compares every destination against a reference
+// model. Seeded runs keep it deterministic and reproducible.
+func TestRandomTransferPlans(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runRandomPlan(t, seed)
+		})
+	}
+}
+
+func runRandomPlan(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := 2 + rng.Intn(5) // 2..6
+	eng := sim.NewEngine()
+	sc, err := tcanet.BuildRing(eng, nodes, tcanet.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewComm(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rng.Intn(2) == 0 {
+		c.SetMode(Pipelined)
+	}
+
+	const xfers = 24
+	const slot = 8 * units.KiB // disjoint destination slot per transfer
+
+	// Per destination node: one big host buffer and one GPU buffer,
+	// partitioned into per-transfer slots so writes never overlap.
+	hostDst := make([]HostBuffer, nodes)
+	gpuDst := make([]GPUBuffer, nodes)
+	srcBuf := make([]HostBuffer, nodes)
+	gpuSrc := make([]GPUBuffer, nodes)
+	for i := 0; i < nodes; i++ {
+		hostDst[i], err = c.AllocHostBuffer(i, xfers*slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuDst[i], err = c.RegisterGPUBuffer(i, rng.Intn(2), xfers*slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcBuf[i], err = c.AllocHostBuffer(i, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuSrc[i], err = c.RegisterGPUBuffer(i, 0, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type expect struct {
+		read func() ([]byte, error)
+		want []byte
+		desc string
+	}
+	var expects []expect
+	completions := 0
+	wantCompletions := 0
+
+	for x := 0; x < xfers; x++ {
+		src := rng.Intn(nodes)
+		dst := rng.Intn(nodes)
+		for dst == src {
+			dst = rng.Intn(nodes)
+		}
+		size := units.ByteSize(1 + rng.Intn(int(slot)))
+		payload := make([]byte, size)
+		rng.Read(payload)
+		off := units.ByteSize(x) * slot
+		kind := rng.Intn(4)
+		switch kind {
+		case 0: // PIO into remote host
+			if size > 2*units.KiB {
+				size = 2 * units.KiB // keep PIO sane: it is the short-message mode
+				payload = payload[:size]
+			}
+			g, err := c.GlobalHost(hostDst[dst], off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.PIOPut(src, g, payload); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // DMA put host->remote host
+			if err := c.WriteHost(srcBuf[src], 0, payload); err != nil {
+				t.Fatal(err)
+			}
+			wantCompletions++
+			if err := c.PutToHost(hostDst[dst], off, src, srcBuf[src].Bus, size, func(sim.Time) { completions++ }); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // DMA put host->remote GPU
+			if err := c.WriteHost(srcBuf[src], 0, payload); err != nil {
+				t.Fatal(err)
+			}
+			g, err := c.GlobalGPU(gpuDst[dst], off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCompletions++
+			if err := c.putFromLocal(src, srcBuf[src].Bus+0, g, size, func(sim.Time) { completions++ }); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // MemcpyPeer GPU->GPU
+			if err := c.WriteGPU(gpuSrc[src], 0, payload); err != nil {
+				t.Fatal(err)
+			}
+			wantCompletions++
+			if err := c.MemcpyPeer(gpuDst[dst], off, gpuSrc[src], 0, size, func(sim.Time) { completions++ }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Sequential sends from the same source reuse srcBuf; the DMAC
+		// chain queue serializes them, but the *source bytes* must stay
+		// stable until the chain reads them. Run the engine between
+		// transfers that share a source buffer to keep the reference
+		// model simple.
+		if kind == 1 || kind == 2 || kind == 3 {
+			eng.Run()
+		}
+
+		desc := fmt.Sprintf("seed=%d xfer=%d kind=%d %d->%d size=%v off=%v", seed, x, kind, src, dst, size, off)
+		switch kind {
+		case 0, 1:
+			d, o := dst, off
+			p := payload
+			expects = append(expects, expect{
+				read: func() ([]byte, error) { return c.ReadHost(hostDst[d], o, units.ByteSize(len(p))) },
+				want: p,
+				desc: desc,
+			})
+		case 2, 3:
+			d, o := dst, off
+			p := payload
+			expects = append(expects, expect{
+				read: func() ([]byte, error) { return c.ReadGPU(gpuDst[d], o, units.ByteSize(len(p))) },
+				want: p,
+				desc: desc,
+			})
+		}
+	}
+	eng.Run()
+	if completions != wantCompletions {
+		t.Fatalf("%d/%d DMA completions fired", completions, wantCompletions)
+	}
+	for _, e := range expects {
+		got, err := e.read()
+		if err != nil {
+			t.Fatalf("%s: %v", e.desc, err)
+		}
+		if !bytes.Equal(got, e.want) {
+			t.Fatalf("%s: data mismatch", e.desc)
+		}
+	}
+}
+
+// TestConcurrentChainsAcrossNodes drives every node's DMAC simultaneously
+// at the same destination node and verifies all payloads and completion
+// ordering per chip.
+func TestConcurrentChainsAcrossNodes(t *testing.T) {
+	eng, c := newComm(t, 8)
+	dst, err := c.AllocHostBuffer(0, 8*64*units.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for src := 1; src < 8; src++ {
+		buf, err := c.AllocHostBuffer(src, 64*units.KiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := pattern(64*1024, byte(src))
+		if err := c.WriteHost(buf, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		off := units.ByteSize(src) * 64 * units.KiB
+		if err := c.PutToHost(dst, off, src, buf.Bus, 64*units.KiB, func(sim.Time) { done++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if done != 7 {
+		t.Fatalf("%d/7 chains completed", done)
+	}
+	for src := 1; src < 8; src++ {
+		off := units.ByteSize(src) * 64 * units.KiB
+		got, _ := c.ReadHost(dst, off, 64*units.KiB)
+		if !bytes.Equal(got, pattern(64*1024, byte(src))) {
+			t.Fatalf("payload from node %d corrupted", src)
+		}
+	}
+}
+
+// TestSixteenNodeRingAllPairs exercises the largest sub-cluster the paper
+// defines (16 nodes, §II-B) with a PIO write between every ordered pair.
+func TestSixteenNodeRingAllPairs(t *testing.T) {
+	eng, c := newComm(t, 16)
+	bufs := make([]HostBuffer, 16)
+	var err error
+	for i := range bufs {
+		bufs[i], err = c.AllocHostBuffer(i, 16*64)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			if src == dst {
+				continue
+			}
+			g, err := c.GlobalHost(bufs[dst], units.ByteSize(src*64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.PIOPut(src, g, []byte{byte(src), byte(dst)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eng.Run()
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			if src == dst {
+				continue
+			}
+			got, _ := c.ReadHost(bufs[dst], units.ByteSize(src*64), 2)
+			if got[0] != byte(src) || got[1] != byte(dst) {
+				t.Fatalf("pair %d→%d: got %v", src, dst, got)
+			}
+		}
+	}
+}
+
+// TestPIOOrderingDataBeforeFlag locks the invariant the collective library
+// builds on: PIO data stores and a subsequent PIO flag store to the same
+// node traverse one FIFO path, so when the flag lands, every data byte has
+// landed. This holds across multiple ring hops.
+func TestPIOOrderingDataBeforeFlag(t *testing.T) {
+	for _, hops := range []int{1, 3} {
+		eng, c := newComm(t, 8)
+		dstNode := hops
+		buf, err := c.AllocHostBuffer(dstNode, 8*units.KiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := pattern(2048, 0x33)
+		g, _ := c.GlobalHost(buf, 0)
+		flagG, _ := c.GlobalHost(buf, 4096)
+		checked := false
+		c.WaitFlag(dstNode, buf.Bus+4096, func(now sim.Time) {
+			got, err := c.ReadHost(buf, 0, units.ByteSize(len(payload)))
+			if err != nil {
+				t.Error(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Errorf("hops=%d: flag observed before data fully landed", hops)
+			}
+			checked = true
+		})
+		if err := c.PIOPut(0, g, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteFlag(0, flagG, 1); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if !checked {
+			t.Fatalf("hops=%d: flag never observed", hops)
+		}
+	}
+}
+
+// TestReadHostBus covers the raw-bus read used by the PIO send path.
+func TestReadHostBus(t *testing.T) {
+	_, c := newComm(t, 2)
+	buf, _ := c.AllocHostBuffer(0, 4*units.KiB)
+	want := pattern(128, 0x44)
+	if err := c.WriteHost(buf, 64, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadHostBus(0, buf.Bus+64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("ReadHostBus mismatch")
+	}
+}

@@ -1,0 +1,158 @@
+package host
+
+import (
+	"fmt"
+
+	"tca/internal/memory"
+	"tca/internal/pcie"
+	"tca/internal/sim"
+	"tca/internal/units"
+)
+
+// RootComplex is the node's CPU complex as seen from PCIe: the owner of
+// host DRAM, the join point of the two per-socket switch trees, and the QPI
+// bridge between them. Device-initiated reads and writes to DRAM terminate
+// here; traffic between sockets pays the QPI penalty; peer-to-peer *reads*
+// across QPI are rejected, as on the real machine ("P2P access through PCIe
+// over QPI should be still prohibited", §IV-A2).
+type RootComplex struct {
+	node *Node
+	dram *memory.RAM
+	dn   [2]*pcie.Port
+
+	sockWin [2][]pcie.Range
+	qpiSer  sim.Serializer
+	watches []rcWatch
+
+	// Stats
+	dramWrites uint64
+	dramReads  uint64
+	qpiForward uint64
+}
+
+type rcWatch struct {
+	r  pcie.Range
+	fn func(at sim.Time)
+}
+
+func newRootComplex(n *Node) *RootComplex {
+	rc := &RootComplex{node: n, dram: memory.NewRAM(n.params.DRAMSize)}
+	rc.dn[0] = pcie.NewPort(rc, "dn0", pcie.RoleRC)
+	rc.dn[1] = pcie.NewPort(rc, "dn1", pcie.RoleRC)
+	return rc
+}
+
+// DevName implements pcie.Device.
+func (rc *RootComplex) DevName() string { return rc.node.name + ".rc" }
+
+func (rc *RootComplex) addSocketWindow(sock int, w pcie.Range) {
+	rc.sockWin[sock] = append(rc.sockWin[sock], w)
+}
+
+func (rc *RootComplex) socketOf(a pcie.Addr) (int, bool) {
+	for s := 0; s < 2; s++ {
+		for _, w := range rc.sockWin[s] {
+			if w.Contains(a) {
+				return s, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (rc *RootComplex) watch(r pcie.Range, fn func(at sim.Time)) {
+	rc.watches = append(rc.watches, rcWatch{r: r, fn: fn})
+}
+
+func (rc *RootComplex) dramWindow() pcie.Range {
+	return pcie.Range{Base: 0, Size: uint64(rc.node.params.DRAMSize)}
+}
+
+// routeFromCPU injects a CPU-originated TLP into the fabric (PIO store).
+func (rc *RootComplex) routeFromCPU(now sim.Time, t *pcie.TLP) {
+	if rc.dramWindow().Contains(t.Addr) {
+		// A store to host memory never leaves the CPU; model it as an
+		// immediate local write.
+		rc.writeDRAM(now, t)
+		return
+	}
+	sock, ok := rc.socketOf(t.Addr)
+	if !ok {
+		panic(fmt.Sprintf("%s: CPU store to unmapped address %v", rc.DevName(), t.Addr))
+	}
+	rc.dn[sock].Send(now, t)
+}
+
+func (rc *RootComplex) writeDRAM(now sim.Time, t *pcie.TLP) {
+	if err := rc.dram.Write(uint64(t.Addr), t.Data); err != nil {
+		panic(fmt.Sprintf("%s: DRAM write %v: %v", rc.DevName(), t.Addr, err))
+	}
+	rc.dramWrites++
+	hit := pcie.Range{Base: t.Addr, Size: uint64(len(t.Data))}
+	for _, w := range rc.watches {
+		if w.r.Overlaps(hit) {
+			w.fn(now)
+		}
+	}
+}
+
+// Accept implements pcie.Device for traffic arriving from the socket
+// switches.
+func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Duration {
+	fromSock := 0
+	if in == rc.dn[1] {
+		fromSock = 1
+	}
+	switch t.Kind {
+	case pcie.MWr:
+		if rc.dramWindow().Contains(t.Addr) {
+			rc.writeDRAM(now, t)
+			return rc.node.params.DRAMWriteDrain
+		}
+		sock, ok := rc.socketOf(t.Addr)
+		if !ok {
+			panic(fmt.Sprintf("%s: MWr to unmapped %v", rc.DevName(), t.Addr))
+		}
+		if sock == fromSock {
+			panic(fmt.Sprintf("%s: MWr to %v bounced off RC back to its own socket — switch window bug", rc.DevName(), t.Addr))
+		}
+		// Cross-QPI peer-to-peer write: heavily serialized (§IV-A2:
+		// "severely degraded by up to several hundred Mbytes/sec").
+		rc.qpiForward++
+		start := rc.qpiSer.Reserve(now, rc.node.params.QPIWriteService)
+		depart := start.Add(rc.node.params.QPIWriteService).Add(rc.node.params.QPILatency)
+		rc.node.eng.At(depart, func() {
+			rc.dn[sock].Send(rc.node.eng.Now(), t)
+		})
+		return 0
+	case pcie.MRd:
+		if rc.dramWindow().Contains(t.Addr) {
+			rc.dramReads++
+			req := *t
+			reply := now.Add(rc.node.params.DRAMReadLatency)
+			rc.node.eng.At(reply, func() {
+				data, err := rc.dram.ReadBytes(uint64(req.Addr), req.ReadLen)
+				if err != nil {
+					panic(fmt.Sprintf("%s: DRAM read %v: %v", rc.DevName(), req.Addr, err))
+				}
+				maxPayload := in.Link().Params().MaxPayload
+				for _, c := range pcie.SplitCompletion(&req, data, maxPayload) {
+					in.Send(rc.node.eng.Now(), c)
+				}
+			})
+			return 0
+		}
+		panic(fmt.Sprintf("%s: peer-to-peer MRd to %v across QPI is prohibited (§IV-A2)", rc.DevName(), t.Addr))
+	default:
+		panic(fmt.Sprintf("%s: unexpected %v at root complex", rc.DevName(), t.Kind))
+	}
+}
+
+// Stats reports DRAM write/read TLP counts and QPI forwards.
+func (rc *RootComplex) Stats() (dramWrites, dramReads, qpiForwards uint64) {
+	return rc.dramWrites, rc.dramReads, rc.qpiForward
+}
+
+// Ports implements pcie.Enumerable: the BIOS scan starts at the root
+// complex and descends both socket trees.
+func (rc *RootComplex) Ports() []*pcie.Port { return []*pcie.Port{rc.dn[0], rc.dn[1]} }

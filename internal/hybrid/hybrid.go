@@ -1,0 +1,90 @@
+// Package hybrid implements the hierarchical network of §II-B: "HA-PACS/TCA
+// can use a hierarchical network that incorporates TCA interconnect for
+// local communication with low latency and InfiniBand for global
+// communication with high bandwidth." A hybrid communicator owns both
+// fabrics over the same nodes and routes each GPU-to-GPU transfer down the
+// faster path: TCA below the size crossover, the InfiniBand three-copy
+// path above it.
+package hybrid
+
+import (
+	"fmt"
+
+	"tca/internal/core"
+	"tca/internal/gpu"
+	"tca/internal/host"
+	"tca/internal/ib"
+	"tca/internal/sim"
+	"tca/internal/tcanet"
+	"tca/internal/units"
+)
+
+// nodeList collects the sub-cluster's nodes for the IB fabric.
+func nodeList(sc *tcanet.SubCluster) []*host.Node {
+	out := make([]*host.Node, sc.Nodes())
+	for i := range out {
+		out[i] = sc.Node(i)
+	}
+	return out
+}
+
+// DefaultCrossover is the size above which the conventional path's
+// multi-GB/s cudaMemcpy streaming beats PEACH2's ~0.83 GB/s GPU BAR reads.
+// The Baseline experiment locates the crossover in the tens of KiB; 16 KiB
+// is conservative toward latency.
+const DefaultCrossover = 16 * units.KiB
+
+// Comm is the two-fabric communicator.
+type Comm struct {
+	tca       *core.Comm
+	fabric    *ib.Fabric
+	conv      *ib.Conventional
+	crossover units.ByteSize
+
+	tcaSends uint64
+	ibSends  uint64
+}
+
+// New builds the hybrid over an existing TCA sub-cluster, attaching an
+// InfiniBand fabric to the same nodes (each HA-PACS node carries both a
+// PEACH2 board and an IB adaptor, §II-B). staging bounds the largest
+// conventional-path transfer.
+func New(comm *core.Comm, staging units.ByteSize) (*Comm, error) {
+	sc := comm.SubCluster()
+	fabric, err := ib.NewFabric(sc.Engine(), nodeList(sc), ib.QDRParams)
+	if err != nil {
+		return nil, err
+	}
+	conv, err := ib.NewConventional(fabric, staging)
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{tca: comm, fabric: fabric, conv: conv, crossover: DefaultCrossover}, nil
+}
+
+// SetCrossover overrides the routing threshold.
+func (c *Comm) SetCrossover(n units.ByteSize) {
+	if n <= 0 {
+		panic(fmt.Sprintf("hybrid: crossover %d", n))
+	}
+	c.crossover = n
+}
+
+// Crossover reports the active threshold.
+func (c *Comm) Crossover() units.ByteSize { return c.crossover }
+
+// Stats reports how many transfers each fabric carried.
+func (c *Comm) Stats() (tcaSends, ibSends uint64) { return c.tcaSends, c.ibSends }
+
+// MemcpyPeer moves n bytes between pinned GPU buffers, choosing the fabric
+// by size: the TCA put below the crossover, the conventional staged path
+// above it. Same-node copies always use the CUDA peer engine.
+func (c *Comm) MemcpyPeer(dst core.GPUBuffer, dstOff units.ByteSize, src core.GPUBuffer, srcOff units.ByteSize, n units.ByteSize, done func(now sim.Time)) error {
+	if src.Node == dst.Node || n <= c.crossover {
+		c.tcaSends++
+		return c.tca.MemcpyPeer(dst, dstOff, src, srcOff, n, done)
+	}
+	c.ibSends++
+	return c.conv.GPUToGPU(src.Node, src.GPU, src.Ptr+gpu.DevicePtr(srcOff),
+		dst.Node, dst.GPU, dst.Ptr+gpu.DevicePtr(dstOff), n, done)
+}

@@ -1,0 +1,145 @@
+package hybrid
+
+import (
+	"bytes"
+	"testing"
+
+	"tca/internal/core"
+	"tca/internal/sim"
+	"tca/internal/tcanet"
+	"tca/internal/units"
+)
+
+func newHybrid(t *testing.T, nodes int) (*sim.Engine, *core.Comm, *Comm) {
+	t.Helper()
+	eng := sim.NewEngine()
+	sc, err := tcanet.BuildRing(eng, nodes, tcanet.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := core.NewComm(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm.SetMode(core.Pipelined)
+	h, err := New(comm, 4*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, comm, h
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*3 + seed
+	}
+	return b
+}
+
+// transfer runs one hybrid MemcpyPeer to completion and returns its
+// simulated duration.
+func transfer(t *testing.T, eng *sim.Engine, comm *core.Comm, h *Comm, n units.ByteSize) units.Duration {
+	t.Helper()
+	src, err := comm.RegisterGPUBuffer(0, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := comm.RegisterGPUBuffer(1, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pattern(int(n), byte(n))
+	if err := comm.WriteGPU(src, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	start := eng.Now()
+	var end sim.Time
+	if err := h.MemcpyPeer(dst, 0, src, 0, n, func(now sim.Time) { end = now }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if end == 0 {
+		t.Fatal("transfer never completed")
+	}
+	got, _ := comm.ReadGPU(dst, 0, n)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%v transfer corrupted data", n)
+	}
+	return end.Sub(start)
+}
+
+func TestHybridRoutesBySize(t *testing.T) {
+	eng, comm, h := newHybrid(t, 2)
+	transfer(t, eng, comm, h, 4*units.KiB) // below crossover → TCA
+	transfer(t, eng, comm, h, units.MiB)   // above → IB conventional
+	tcaN, ibN := h.Stats()
+	if tcaN != 1 || ibN != 1 {
+		t.Fatalf("routing stats = %d TCA / %d IB, want 1/1", tcaN, ibN)
+	}
+}
+
+func TestHybridBeatsBothSingleFabrics(t *testing.T) {
+	// The point of the hierarchy: the hybrid tracks the better fabric on
+	// both sides of the crossover.
+	measureTCA := func(n units.ByteSize) units.Duration {
+		eng, comm, h := newHybrid(t, 2)
+		h.SetCrossover(1 << 30) // force TCA always
+		return transfer(t, eng, comm, h, n)
+	}
+	measureIB := func(n units.ByteSize) units.Duration {
+		eng, comm, h := newHybrid(t, 2)
+		h.SetCrossover(1) // force IB always
+		return transfer(t, eng, comm, h, n)
+	}
+	measureHybrid := func(n units.ByteSize) units.Duration {
+		eng, comm, h := newHybrid(t, 2)
+		return transfer(t, eng, comm, h, n)
+	}
+	small := 512 * units.Byte
+	large := units.MiB
+	if hy, ib := measureHybrid(small), measureIB(small); hy >= ib {
+		t.Fatalf("hybrid small %v not below IB %v", hy, ib)
+	}
+	if hy, tca := measureHybrid(large), measureTCA(large); hy >= tca {
+		t.Fatalf("hybrid large %v not below TCA %v", hy, tca)
+	}
+	// And hybrid equals the winning fabric on each side.
+	if hy, tca := measureHybrid(small), measureTCA(small); hy != tca {
+		t.Fatalf("hybrid small %v != TCA %v", hy, tca)
+	}
+	if hy, ib := measureHybrid(large), measureIB(large); hy != ib {
+		t.Fatalf("hybrid large %v != IB %v", hy, ib)
+	}
+}
+
+func TestHybridSameNodeUsesCUDA(t *testing.T) {
+	eng, comm, h := newHybrid(t, 2)
+	src, _ := comm.RegisterGPUBuffer(0, 0, units.MiB)
+	dst, _ := comm.RegisterGPUBuffer(0, 1, units.MiB)
+	if err := comm.WriteGPU(src, 0, pattern(4096, 1)); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if err := h.MemcpyPeer(dst, 0, src, 0, 4096, func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("same-node copy never completed")
+	}
+	tcaN, ibN := h.Stats()
+	if tcaN != 1 || ibN != 0 {
+		t.Fatalf("same-node copy routed %d/%d", tcaN, ibN)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	_, _, h := newHybrid(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero crossover did not panic")
+		}
+	}()
+	h.SetCrossover(0)
+}

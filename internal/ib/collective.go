@@ -1,0 +1,95 @@
+package ib
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tca/internal/pcie"
+	"tca/internal/sim"
+	"tca/internal/units"
+)
+
+// RingAllreduce sums per-node float64 vectors over the MPI layer — the
+// same ring schedule as the TCA-native collective in package coll, but
+// every step pays the full MPI per-message cost the TCA path eliminates
+// (§V: "the overhead of MPI protocol stack can be eliminated"). It exists
+// to quantify that claim.
+//
+// bufs[i] is node i's vector (count float64) in its host memory; staging
+// and synchronization are internal. done fires when every node holds the
+// sum.
+func (f *Fabric) RingAllreduce(bufs []pcie.Addr, count int, done func(now sim.Time)) error {
+	n := len(f.nodes)
+	if len(bufs) != n {
+		return fmt.Errorf("ib: RingAllreduce needs %d buffers, got %d", n, len(bufs))
+	}
+	if count <= 0 || count%n != 0 {
+		return fmt.Errorf("ib: element count %d must be a positive multiple of %d", count, n)
+	}
+	chunkN := count / n
+	chunk := units.ByteSize(chunkN * 8)
+
+	staging := make([]pcie.Addr, n)
+	for i := range staging {
+		s, err := f.nodes[i].AllocDMABuffer(chunk)
+		if err != nil {
+			return fmt.Errorf("ib: staging: %w", err)
+		}
+		staging[i] = s
+	}
+
+	chunkToSend := func(rank, step int) int {
+		if step <= n-1 {
+			return ((rank-(step-1))%n + n) % n
+		}
+		return ((rank+1-(step-n))%n + n) % n
+	}
+
+	finished := 0
+	var send func(rank, step int)
+	recv := func(rank, step int, now sim.Time) {
+		ci := chunkToSend((rank-1+n)%n, step)
+		in, err := f.nodes[rank].ReadLocal(staging[rank], chunk)
+		if err != nil {
+			panic(err)
+		}
+		off := pcie.Addr(ci * int(chunk))
+		if step <= n-1 {
+			cur, err := f.nodes[rank].ReadLocal(bufs[rank]+off, chunk)
+			if err != nil {
+				panic(err)
+			}
+			for j := 0; j+8 <= len(cur); j += 8 {
+				a := math.Float64frombits(binary.LittleEndian.Uint64(cur[j:]))
+				b := math.Float64frombits(binary.LittleEndian.Uint64(in[j:]))
+				binary.LittleEndian.PutUint64(cur[j:], math.Float64bits(a+b))
+			}
+			in = cur
+		}
+		if err := f.nodes[rank].WriteLocal(bufs[rank]+off, in); err != nil {
+			panic(err)
+		}
+		if step == 2*(n-1) {
+			finished++
+			if finished == n {
+				done(now)
+			}
+			return
+		}
+		send(rank, step+1)
+	}
+	send = func(rank, step int) {
+		next := (rank + 1) % n
+		ci := chunkToSend(rank, step)
+		err := f.MPISend(rank, next, bufs[rank]+pcie.Addr(ci*int(chunk)), staging[next], chunk,
+			func(now sim.Time) { recv(next, step, now) })
+		if err != nil {
+			panic(fmt.Sprintf("ib: allreduce send: %v", err))
+		}
+	}
+	for i := 0; i < n; i++ {
+		send(i, 1)
+	}
+	return nil
+}

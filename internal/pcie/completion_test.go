@@ -1,0 +1,119 @@
+package pcie
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTagTableAllocAndComplete(t *testing.T) {
+	tt := NewTagTable(8)
+	var got []byte
+	tag, ok := tt.Alloc(6, func(data []byte) { got = data })
+	if !ok {
+		t.Fatal("Alloc failed on empty table")
+	}
+	if tt.Outstanding() != 1 || tt.Free() != 7 {
+		t.Fatalf("Outstanding/Free = %d/%d, want 1/7", tt.Outstanding(), tt.Free())
+	}
+	if err := tt.HandleCompletion(&TLP{Kind: CplD, Tag: tag, Data: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatal("callback fired before Last completion")
+	}
+	if err := tt.HandleCompletion(&TLP{Kind: CplD, Tag: tag, Data: []byte{4, 5, 6}, Last: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("reassembled data = %v", got)
+	}
+	if tt.Outstanding() != 0 || tt.Free() != 8 {
+		t.Fatalf("tag not recycled: %d/%d", tt.Outstanding(), tt.Free())
+	}
+}
+
+func TestTagTableExhaustion(t *testing.T) {
+	tt := NewTagTable(2)
+	cb := func([]byte) {}
+	if _, ok := tt.Alloc(1, cb); !ok {
+		t.Fatal("first Alloc failed")
+	}
+	tag2, ok := tt.Alloc(1, cb)
+	if !ok {
+		t.Fatal("second Alloc failed")
+	}
+	if _, ok := tt.Alloc(1, cb); ok {
+		t.Fatal("Alloc beyond capacity succeeded")
+	}
+	if err := tt.HandleCompletion(&TLP{Kind: CplD, Tag: tag2, Data: []byte{9}, Last: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tt.Alloc(1, cb); !ok {
+		t.Fatal("Alloc after free failed")
+	}
+}
+
+func TestTagTableUnknownTag(t *testing.T) {
+	tt := NewTagTable(4)
+	if err := tt.HandleCompletion(&TLP{Kind: CplD, Tag: 3, Data: []byte{1}, Last: true}); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+func TestTagTableOverflowAndShortRead(t *testing.T) {
+	tt := NewTagTable(4)
+	tag, _ := tt.Alloc(2, func([]byte) {})
+	if err := tt.HandleCompletion(&TLP{Kind: CplD, Tag: tag, Data: []byte{1, 2, 3}, Last: true}); err == nil {
+		t.Fatal("overflowing completion accepted")
+	}
+
+	tt2 := NewTagTable(4)
+	tag2, _ := tt2.Alloc(10, func([]byte) {})
+	if err := tt2.HandleCompletion(&TLP{Kind: CplD, Tag: tag2, Data: []byte{1}, Last: true}); err == nil {
+		t.Fatal("short read accepted")
+	}
+}
+
+func TestTagTableRejectsWrongKind(t *testing.T) {
+	tt := NewTagTable(4)
+	if err := tt.HandleCompletion(&TLP{Kind: MWr, Data: []byte{1}}); err == nil {
+		t.Fatal("MWr accepted as completion")
+	}
+}
+
+func TestTagTableCapacityBounds(t *testing.T) {
+	for _, bad := range []int{0, -1, 257} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d did not panic", bad)
+				}
+			}()
+			NewTagTable(bad)
+		}()
+	}
+	tt := NewTagTable(256)
+	if tt.Free() != 256 {
+		t.Fatalf("Free = %d, want 256", tt.Free())
+	}
+}
+
+func TestTagTableAllocValidation(t *testing.T) {
+	tt := NewTagTable(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-length Alloc did not panic")
+			}
+		}()
+		tt.Alloc(0, func([]byte) {})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil-callback Alloc did not panic")
+			}
+		}()
+		tt.Alloc(8, nil)
+	}()
+}

@@ -1,0 +1,246 @@
+package pcie
+
+import (
+	"fmt"
+
+	"tca/internal/sim"
+	"tca/internal/units"
+)
+
+// Device is anything attached to a PCIe port: a root complex, a memory
+// endpoint, a GPU, a switch, or a PEACH2 chip.
+type Device interface {
+	// DevName identifies the device in traces and errors.
+	DevName() string
+	// Accept delivers a TLP that arrived on port p at time now. The
+	// return value is how long the ingress buffer slot stays occupied;
+	// the link withholds that flow-control credit until it elapses, which
+	// is how a slow sink backpressures a fast sender.
+	Accept(now sim.Time, t *TLP, p *Port) units.Duration
+}
+
+// Port is one end of a link, owned by a device. A device with several ports
+// (PEACH2 has four) distinguishes them by the Label it assigned.
+type Port struct {
+	owner Device
+	link  *Link
+	role  Role
+	// Label names the port on its device ("N", "E", "W", "S", "up",
+	// "down0", ...).
+	Label string
+}
+
+// NewPort creates an unconnected port for owner.
+func NewPort(owner Device, label string, role Role) *Port {
+	if owner == nil {
+		panic("pcie: NewPort with nil owner")
+	}
+	return &Port{owner: owner, Label: label, role: role}
+}
+
+// Owner returns the device the port belongs to.
+func (p *Port) Owner() Device { return p.owner }
+
+// Role reports which side of the link the port plays.
+func (p *Port) Role() Role { return p.role }
+
+// SetRole reconfigures the port's role. PEACH2's Port S is "selectable as RC
+// or EP" (§III-D); reconfiguration is only legal while disconnected.
+func (p *Port) SetRole(r Role) {
+	if p.link != nil {
+		panic(fmt.Sprintf("pcie: SetRole on connected port %v", p))
+	}
+	p.role = r
+}
+
+// Connected reports whether the port has a link.
+func (p *Port) Connected() bool { return p.link != nil }
+
+// Link returns the attached link, or nil.
+func (p *Port) Link() *Link { return p.link }
+
+// Peer returns the port at the other end of the link, or nil when
+// disconnected.
+func (p *Port) Peer() *Port {
+	if p.link == nil {
+		return nil
+	}
+	if p.link.a == p {
+		return p.link.b
+	}
+	return p.link.a
+}
+
+// Send transmits a TLP out of this port at time now.
+func (p *Port) Send(now sim.Time, t *TLP) {
+	if p.link == nil {
+		panic(fmt.Sprintf("pcie: Send on disconnected port %v", p))
+	}
+	p.link.send(now, p, t)
+}
+
+// String formats as "device.label(ROLE)".
+func (p *Port) String() string {
+	return fmt.Sprintf("%s.%s(%v)", p.owner.DevName(), p.Label, p.role)
+}
+
+// LinkParams tunes a link's timing and flow control.
+type LinkParams struct {
+	Config LinkConfig
+	// Propagation is the one-way flight latency: SerDes, equalization,
+	// and for external cables the cable itself.
+	Propagation units.Duration
+	// MaxPayload bounds MWr/CplD payloads. Zero means DefaultMaxPayload.
+	MaxPayload units.ByteSize
+	// CreditTLPs is the per-direction count of in-flight-or-undrained
+	// TLPs before the sender stalls (receiver buffer depth in packets).
+	// Zero means DefaultCreditTLPs.
+	CreditTLPs int
+}
+
+// DefaultCreditTLPs is a generous ingress buffer: 32 packets ≈ 8 KiB of
+// posted data, matching the multi-kilobyte FPGA RX FIFOs.
+const DefaultCreditTLPs = 32
+
+func (p LinkParams) withDefaults() LinkParams {
+	if p.MaxPayload == 0 {
+		p.MaxPayload = DefaultMaxPayload
+	}
+	if p.CreditTLPs == 0 {
+		p.CreditTLPs = DefaultCreditTLPs
+	}
+	return p
+}
+
+// Link is a full-duplex point-to-point PCIe link: two independent directions
+// each with a serializer (one packet on the wire at a time) and a credit
+// pool (receiver buffer slots).
+type Link struct {
+	eng    *sim.Engine
+	params LinkParams
+	a, b   *Port
+	aToB   linkDir
+	bToA   linkDir
+
+	// Stats
+	tlpsSent  [2]uint64
+	bytesSent [2]units.ByteSize
+}
+
+type linkDir struct {
+	wire     sim.Serializer
+	inFlight int
+	waiting  []*TLP
+	dst      *Port
+}
+
+// Connect joins two ports with a link. Exactly one port must be RC-side and
+// one EP-side — the PCIe constraint that motivates PEACH2's fixed E=EP,
+// W=RC ring design.
+func Connect(eng *sim.Engine, a, b *Port, params LinkParams) (*Link, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("pcie: Connect with nil engine")
+	}
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("pcie: Connect with nil port")
+	}
+	if a.link != nil || b.link != nil {
+		return nil, fmt.Errorf("pcie: port already connected (%v / %v)", a, b)
+	}
+	if a.role == b.role {
+		return nil, fmt.Errorf("pcie: cannot link two %v ports (%v — %v): a PCIe link joins one RC to one EP", a.role, a, b)
+	}
+	if err := params.Config.Validate(); err != nil {
+		return nil, err
+	}
+	params = params.withDefaults()
+	l := &Link{eng: eng, params: params, a: a, b: b}
+	l.aToB.dst = b
+	l.bToA.dst = a
+	a.link = l
+	b.link = l
+	return l, nil
+}
+
+// MustConnect is Connect for statically-built topologies.
+func MustConnect(eng *sim.Engine, a, b *Port, params LinkParams) *Link {
+	l, err := Connect(eng, a, b, params)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Params returns the link's configuration.
+func (l *Link) Params() LinkParams { return l.params }
+
+// Stats reports TLP and byte counts sent from port a→b and b→a.
+func (l *Link) Stats() (tlps [2]uint64, bytes [2]units.ByteSize) {
+	return l.tlpsSent, l.bytesSent
+}
+
+func (l *Link) dir(from *Port) (*linkDir, int) {
+	switch from {
+	case l.a:
+		return &l.aToB, 0
+	case l.b:
+		return &l.bToA, 1
+	default:
+		panic(fmt.Sprintf("pcie: port %v does not belong to link", from))
+	}
+}
+
+// send queues or transmits a TLP in the from-port's direction.
+func (l *Link) send(now sim.Time, from *Port, t *TLP) {
+	if err := t.Validate(l.params.MaxPayload); err != nil {
+		panic(fmt.Sprintf("pcie: invalid TLP on %v: %v", from, err))
+	}
+	d, di := l.dir(from)
+	l.tlpsSent[di]++
+	l.bytesSent[di] += t.WireBytes()
+	if d.inFlight >= l.params.CreditTLPs {
+		d.waiting = append(d.waiting, t)
+		return
+	}
+	l.transmit(now, d, t)
+}
+
+// transmit reserves wire time and schedules delivery.
+func (l *Link) transmit(now sim.Time, d *linkDir, t *TLP) {
+	d.inFlight++
+	ser := units.TimeToSend(t.WireBytes(), l.params.Config.RawBandwidth())
+	start := d.wire.Reserve(now, ser)
+	arrive := start.Add(ser).Add(l.params.Propagation)
+	l.eng.At(arrive, func() {
+		drain := d.dst.owner.Accept(l.eng.Now(), t, d.dst)
+		if drain < 0 {
+			panic(fmt.Sprintf("pcie: negative drain %v from %s", drain, d.dst.owner.DevName()))
+		}
+		l.eng.After(drain, func() {
+			d.inFlight--
+			if d.inFlight < 0 {
+				panic("pcie: credit underflow")
+			}
+			if len(d.waiting) > 0 && d.inFlight < l.params.CreditTLPs {
+				next := d.waiting[0]
+				copy(d.waiting, d.waiting[1:])
+				d.waiting[len(d.waiting)-1] = nil
+				d.waiting = d.waiting[:len(d.waiting)-1]
+				l.transmit(l.eng.Now(), d, next)
+			}
+		})
+	})
+}
+
+// InFlight reports the occupied credit slots in the direction out of from.
+func (l *Link) InFlight(from *Port) int {
+	d, _ := l.dir(from)
+	return d.inFlight
+}
+
+// QueuedTLPs reports how many packets wait for credits in the direction out
+// of from.
+func (l *Link) QueuedTLPs(from *Port) int {
+	d, _ := l.dir(from)
+	return len(d.waiting)
+}

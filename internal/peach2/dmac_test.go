@@ -1,0 +1,136 @@
+package peach2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tca/internal/pcie"
+	"tca/internal/units"
+)
+
+func TestDescriptorEncodeDecode(t *testing.T) {
+	cases := []Descriptor{
+		{Kind: DescWrite, Len: 4096, Src: 0x1000, Dst: 0x80_0000_0000},
+		{Kind: DescRead, Len: 64, Src: 0x2000, Dst: 0},
+		{Kind: DescPipelined, Len: 1 << 20, Src: 0x40_0000_0000, Dst: 0x81_0000_0000},
+	}
+	for _, d := range cases {
+		e := d.Encode()
+		got, err := DecodeDescriptor(e[:])
+		if err != nil {
+			t.Fatalf("decode(%v): %v", d, err)
+		}
+		if got != d {
+			t.Fatalf("round trip: got %+v, want %+v", got, d)
+		}
+	}
+}
+
+func TestDecodeDescriptorErrors(t *testing.T) {
+	if _, err := DecodeDescriptor(make([]byte, 16)); err == nil {
+		t.Fatal("short descriptor accepted")
+	}
+	bad := Descriptor{Kind: DescWrite, Len: 8}.Encode()
+	bad[0] = 99
+	if _, err := DecodeDescriptor(bad[:]); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	zero := Descriptor{Kind: DescWrite, Len: 0}.Encode()
+	if _, err := DecodeDescriptor(zero[:]); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestEncodeTable(t *testing.T) {
+	descs := []Descriptor{
+		{Kind: DescWrite, Len: 128, Src: 0, Dst: 0x1000},
+		{Kind: DescRead, Len: 256, Src: 0x2000, Dst: 64},
+	}
+	table := EncodeTable(descs)
+	if len(table) != 2*DescriptorBytes {
+		t.Fatalf("table size %d", len(table))
+	}
+	for i, want := range descs {
+		got, err := DecodeDescriptor(table[i*DescriptorBytes:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("entry %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+// Property: descriptor encoding round-trips for arbitrary fields.
+func TestQuickDescriptorRoundTrip(t *testing.T) {
+	f := func(kind uint8, l uint32, src, dst uint64) bool {
+		d := Descriptor{Kind: DescKind(kind % 3), Len: units.ByteSize(l%(1<<30) + 1), Src: src, Dst: dst}
+		e := d.Encode()
+		got, err := DecodeDescriptor(e[:])
+		return err == nil && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitCountMatchesSplitWrite(t *testing.T) {
+	f := func(addrSeed uint32, l uint32, mpShift uint8) bool {
+		addr := pcie.Addr(addrSeed)
+		n := units.ByteSize(l%(1<<18) + 1)
+		mp := units.ByteSize(64 << (mpShift % 4))
+		want := len(pcie.SplitWrite(addr, make([]byte, n), mp, false))
+		return splitCount(addr, n, mp) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteRuleMatches(t *testing.T) {
+	// A Fig. 5 style rule: 32 GiB windows, nodes 1–2 eastward.
+	win := uint64(32 << 30)
+	mask := ^pcie.Addr(win - 1)
+	r := RouteRule{
+		Mask:  mask,
+		Lower: 0x80_0000_0000 + pcie.Addr(win),
+		Upper: 0x80_0000_0000 + pcie.Addr(2*win),
+		Out:   PortE,
+	}
+	cases := []struct {
+		a    pcie.Addr
+		want bool
+	}{
+		{0x80_0000_0000, false},                         // node 0
+		{0x80_0000_0000 + pcie.Addr(win), true},         // node 1 base
+		{0x80_0000_0000 + pcie.Addr(win) + 0xFF, true},  // node 1 interior
+		{0x80_0000_0000 + pcie.Addr(2*win+win-1), true}, // node 2 top
+		{0x80_0000_0000 + pcie.Addr(3*win), false},      // node 3
+	}
+	for _, c := range cases {
+		if got := r.Matches(c.a); got != c.want {
+			t.Errorf("Matches(%v) = %t, want %t", c.a, got, c.want)
+		}
+	}
+}
+
+func TestPortIDString(t *testing.T) {
+	want := map[PortID]string{PortN: "N", PortE: "E", PortW: "W", PortS: "S", PortInternal: "internal"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("PortID(%d).String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}
+
+func TestBlockClassString(t *testing.T) {
+	if ClassHost.String() != "host" || ClassGPU.String() != "gpu" || ClassInternal.String() != "internal" {
+		t.Fatal("BlockClass strings wrong")
+	}
+}
+
+func TestDescKindString(t *testing.T) {
+	if DescWrite.String() != "write" || DescRead.String() != "read" || DescPipelined.String() != "pipelined" {
+		t.Fatal("DescKind strings wrong")
+	}
+}

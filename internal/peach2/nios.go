@@ -1,0 +1,161 @@
+package peach2
+
+import (
+	"fmt"
+	"strings"
+
+	"tca/internal/sim"
+	"tca/internal/units"
+)
+
+// NIOS models the embedded management controller: "the controller works
+// only to monitor and manage PEARL, except for the packet transfer. Thus, a
+// small, low-power controller is sufficient" (§III-D). It never touches the
+// data path; it periodically samples link state and keeps an event log the
+// operator would read over the board's Gigabit Ethernet / RS-232C side
+// channels.
+type NIOS struct {
+	chip *Chip
+
+	running   bool
+	interval  units.Duration
+	scans     uint64
+	lastUp    [4]bool
+	events    []Event
+	maxEvents int
+}
+
+// Event is one management-log entry.
+type Event struct {
+	At   sim.Time
+	What string
+}
+
+// Status is a management snapshot.
+type Status struct {
+	Scans     uint64
+	PortUp    [4]bool
+	Forwarded [numPorts]uint64
+	DMAChains uint64
+	Events    int
+}
+
+func newNIOS(c *Chip) *NIOS {
+	return &NIOS{chip: c, maxEvents: 256}
+}
+
+// Start begins periodic link monitoring.
+func (n *NIOS) Start(interval units.Duration) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("peach2 %s: NIOS interval %v", n.chip.name, interval))
+	}
+	if n.running {
+		return
+	}
+	n.running = true
+	n.interval = interval
+	n.chip.eng.After(interval, n.scan)
+}
+
+// Stop halts monitoring after the next scan.
+func (n *NIOS) Stop() { n.running = false }
+
+func (n *NIOS) scan() {
+	if !n.running {
+		return
+	}
+	n.scans++
+	for p := PortN; p <= PortS; p++ {
+		up := n.chip.ports[p].Connected()
+		if up != n.lastUp[p] {
+			n.logEvent(fmt.Sprintf("port %v link %s", p, linkWord(up)))
+			n.lastUp[p] = up
+		}
+	}
+	n.chip.eng.After(n.interval, n.scan)
+}
+
+func linkWord(up bool) string {
+	if up {
+		return "up"
+	}
+	return "down"
+}
+
+func (n *NIOS) logEvent(what string) {
+	if len(n.events) >= n.maxEvents {
+		copy(n.events, n.events[1:])
+		n.events = n.events[:len(n.events)-1]
+	}
+	n.events = append(n.events, Event{At: n.chip.eng.Now(), What: what})
+}
+
+// Status samples the chip — the management "GetStatus" command.
+func (n *NIOS) Status() Status {
+	var s Status
+	s.Scans = n.scans
+	for p := PortN; p <= PortS; p++ {
+		s.PortUp[p] = n.chip.ports[p].Connected()
+	}
+	s.Forwarded = n.chip.forwarded
+	s.DMAChains = n.chip.dmac.chains
+	s.Events = len(n.events)
+	return s
+}
+
+// Events returns a copy of the management log.
+func (n *NIOS) Events() []Event { return append([]Event(nil), n.events...) }
+
+// statusWord packs link state into the RegStatus register image.
+func (n *NIOS) statusWord() uint64 {
+	var w uint64
+	for p := PortN; p <= PortS; p++ {
+		if n.chip.ports[p].Connected() {
+			w |= 1 << uint(p)
+		}
+	}
+	if n.chip.dmac.Busy() {
+		w |= 1 << 8
+	}
+	return w
+}
+
+// Execute processes a management-console command line as the board's
+// RS-232C / Gigabit Ethernet side channel would ("Gigabit Ethernet and
+// RS-232C are equipped for communication with the NIOS processor",
+// §III-D). Supported commands: status, counters, log, routes, help.
+func (n *NIOS) Execute(cmd string) (string, error) {
+	switch strings.TrimSpace(cmd) {
+	case "help", "":
+		return "commands: status counters log routes help", nil
+	case "status":
+		st := n.Status()
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s up=%v scans=%d", n.chip.name, st.PortUp, st.Scans)
+		if n.chip.dmac.Busy() {
+			sb.WriteString(" dmac=busy")
+		} else {
+			sb.WriteString(" dmac=idle")
+		}
+		return sb.String(), nil
+	case "counters":
+		st := n.chip.Stats()
+		return fmt.Sprintf("forwarded N=%d E=%d W=%d S=%d converted=%d acksSent=%d acksRecv=%d chains=%d tlps=%d",
+			st.Forwarded[PortN], st.Forwarded[PortE], st.Forwarded[PortW], st.Forwarded[PortS],
+			st.Converted, st.AcksSent, st.AcksRecv, st.DMAChains, st.DMATLPs), nil
+	case "log":
+		var sb strings.Builder
+		for _, e := range n.events {
+			fmt.Fprintf(&sb, "[%v] %s\n", e.At, e.What)
+		}
+		return sb.String(), nil
+	case "routes":
+		var sb strings.Builder
+		for i, r := range n.chip.Routes() {
+			fmt.Fprintf(&sb, "rule %d: mask %v [%v, %v] -> %v\n", i, r.Mask, r.Lower, r.Upper, r.Out)
+		}
+		return sb.String(), nil
+	default:
+		return "", fmt.Errorf("peach2 %s: unknown console command %q", n.chip.name, cmd)
+	}
+}

@@ -1,0 +1,174 @@
+// Package sim provides the deterministic discrete-event engine that drives
+// the whole TCA/PEACH2 simulation.
+//
+// Time is measured in integer picoseconds. All hardware models (PCIe links,
+// the PEACH2 router and DMA controller, GPUs, host memory, the InfiniBand
+// baseline) schedule callbacks on a single Engine; the engine executes them
+// in strict timestamp order, breaking ties by scheduling order, so every run
+// is reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"tca/internal/units"
+)
+
+// Time is an absolute simulated timestamp in picoseconds since the start of
+// the simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d units.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from earlier to t.
+func (t Time) Sub(earlier Time) units.Duration { return units.Duration(t - earlier) }
+
+// String formats the timestamp like a duration since time zero.
+func (t Time) String() string { return units.Duration(t).String() }
+
+// event is a scheduled callback. seq breaks timestamp ties so that events
+// scheduled earlier run earlier — the property that makes runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use at time zero.
+type Engine struct {
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	executed  uint64
+	stopped   bool
+	inHandler bool
+}
+
+// NewEngine returns an engine at time zero with an empty event queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have run so far; useful for run statistics
+// and for detecting runaway models in tests.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// model bug, so it panics rather than silently reordering causality.
+func (e *Engine) At(t Time, fn func()) {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d units.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step runs the single earliest pending event and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.executed++
+	e.inHandler = true
+	ev.fn()
+	e.inHandler = false
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the time of the last executed event.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (even if no event lands exactly there). Events after
+// the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for d of simulated time from now.
+func (e *Engine) RunFor(d units.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop aborts a Run/RunUntil in progress after the current event handler
+// returns. Queued events are preserved.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Serializer models an exclusive resource that services work in FIFO order —
+// a link transmitting one packet at a time, a DMA engine issuing one TLP per
+// pipeline slot. Reserve returns when the reserved slot *starts*; the caller
+// schedules its completion callback at start+duration.
+type Serializer struct {
+	nextFree Time
+}
+
+// Reserve books the resource for dur starting no earlier than now, and
+// returns the slot's start time. Negative durations panic.
+func (s *Serializer) Reserve(now Time, dur units.Duration) Time {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative reservation %v", dur))
+	}
+	start := now
+	if s.nextFree > start {
+		start = s.nextFree
+	}
+	s.nextFree = start.Add(dur)
+	return start
+}
+
+// NextFree reports when the resource becomes idle again.
+func (s *Serializer) NextFree() Time { return s.nextFree }
+
+// Busy reports whether the resource is occupied at time now.
+func (s *Serializer) Busy(now Time) bool { return s.nextFree > now }

@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tca/internal/units"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsRunInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	times := []Time{500, 100, 300, 200, 400}
+	for _, at := range times {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(got), len(times))
+	}
+	if e.Now() != 500 {
+		t.Fatalf("final time = %v, want 500", e.Now())
+	}
+}
+
+func TestTiesBreakByScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(42, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken order wrong at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.At(10, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	e := NewEngine()
+	ran := map[Time]bool{}
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { ran[at] = true })
+	}
+	e.RunUntil(25)
+	if !ran[10] || !ran[20] {
+		t.Fatalf("events at/before deadline did not run: %v", ran)
+	}
+	if ran[30] || ran[40] {
+		t.Fatalf("events after deadline ran early: %v", ran)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %v, want 25 after RunUntil(25)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if !ran[30] || !ran[40] {
+		t.Fatal("remaining events never ran")
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	e.RunFor(250)
+	if e.Now() != 350 {
+		t.Fatalf("Now() = %v, want 350", e.Now())
+	}
+}
+
+func TestStopAbortsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events before Stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending() = %d, want 7", e.Pending())
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(units.Nanosecond, recurse)
+		}
+	}
+	e.At(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != Time(99*units.Nanosecond) {
+		t.Fatalf("Now() = %v, want 99ns", e.Now())
+	}
+}
+
+func TestExecutedCounts(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Executed() != 5 {
+		t.Fatalf("Executed() = %d, want 5", e.Executed())
+	}
+}
+
+// Property: for any set of event times, the engine visits them in
+// nondecreasing order and ends at the max.
+func TestQuickTimestampMonotonicity(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var visited []Time
+		var max Time
+		for _, r := range raw {
+			at := Time(r)
+			if at > max {
+				max = at
+			}
+			e.At(at, func() { visited = append(visited, e.Now()) })
+		}
+		e.Run()
+		if len(visited) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(visited); i++ {
+			if visited[i] < visited[i-1] {
+				return false
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializerFIFO(t *testing.T) {
+	var s Serializer
+	start := s.Reserve(0, 100)
+	if start != 0 {
+		t.Fatalf("first Reserve start = %v, want 0", start)
+	}
+	start = s.Reserve(0, 50)
+	if start != 100 {
+		t.Fatalf("second Reserve start = %v, want 100 (queued behind first)", start)
+	}
+	if s.NextFree() != 150 {
+		t.Fatalf("NextFree = %v, want 150", s.NextFree())
+	}
+	// After the resource idles, a later request starts immediately.
+	start = s.Reserve(1000, 10)
+	if start != 1000 {
+		t.Fatalf("idle Reserve start = %v, want 1000", start)
+	}
+}
+
+func TestSerializerBusy(t *testing.T) {
+	var s Serializer
+	s.Reserve(0, 100)
+	if !s.Busy(50) {
+		t.Fatal("Busy(50) = false during reservation")
+	}
+	if s.Busy(100) {
+		t.Fatal("Busy(100) = true at exact release time")
+	}
+}
+
+func TestSerializerNegativePanics(t *testing.T) {
+	var s Serializer
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative reservation did not panic")
+		}
+	}()
+	s.Reserve(0, -5)
+}
+
+// Property: serializer reservations never overlap and never start before the
+// request time.
+func TestQuickSerializerNoOverlap(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Serializer
+		now := Time(0)
+		var prevEnd Time
+		for i := 0; i < int(n%40)+1; i++ {
+			now = now.Add(units.Duration(rng.Intn(200)))
+			dur := units.Duration(rng.Intn(300))
+			start := s.Reserve(now, dur)
+			if start < now {
+				return false
+			}
+			if start < prevEnd {
+				return false
+			}
+			prevEnd = start.Add(dur)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(0).Add(500 * units.Nanosecond)
+	if a != Time(500*units.Nanosecond) {
+		t.Fatalf("Add: got %v", a)
+	}
+	d := a.Sub(Time(200 * units.Nanosecond))
+	if d != 300*units.Nanosecond {
+		t.Fatalf("Sub: got %v, want 300ns", d)
+	}
+	if a.String() != "500ns" {
+		t.Fatalf("String: got %q, want 500ns", a.String())
+	}
+}

@@ -1,0 +1,78 @@
+// Package stats provides the small summary-statistics helpers the benchmark
+// harness uses for repeated measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	StdDev float64
+}
+
+// Summarize computes a Summary. It panics on an empty sample — callers
+// always measure at least once.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g max=%.4g mean=%.4g median=%.4g sd=%.4g",
+		s.N, s.Min, s.Max, s.Mean, s.Median, s.StdDev)
+}
+
+// RelativeError reports |got-want|/|want|.
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Within reports whether got is within frac of want.
+func Within(got, want, frac float64) bool {
+	return RelativeError(got, want) <= frac
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.StdDev != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestRelativeErrorAndWithin(t *testing.T) {
+	if e := RelativeError(3.3, 3.0); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("RelativeError = %v", e)
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Fatal("0/0 should be 0")
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Fatal("x/0 should be +Inf")
+	}
+	if !Within(782, 800, 0.05) {
+		t.Fatal("782 should be within 5% of 800")
+	}
+	if Within(600, 800, 0.05) {
+		t.Fatal("600 should not be within 5% of 800")
+	}
+}
+
+// Property: Min ≤ Median ≤ Max and Min ≤ Mean ≤ Max.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			// Bound magnitudes so the mean's running sum cannot
+			// overflow — measurements are GB/s and ns, not 1e308.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	got := Summarize([]float64{1, 2}).String()
+	if got == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,64 @@
+package tcanet
+
+import (
+	"fmt"
+
+	"tca/internal/pcie"
+	"tca/internal/peach2"
+)
+
+// Failover: one of PEACH2's design advantages over the NTB (§V) is that
+// "the link state with the other node has no impact on the connection
+// between the host and the PEACH2 chip" — a dead cable degrades the ring
+// into a line instead of rebooting hosts. The NIOS management controllers
+// would detect the dead link and the management plane would reprogram the
+// Fig. 5 registers; RingRoutesAvoiding computes those replacement rules.
+
+// RingRoutesAvoiding computes node i's routing rules when the eastward
+// cable out of node cut (the link cut→cut+1) must not be used: every
+// destination routes along the surviving arc. With a single cut the ring
+// is a line, so exactly one direction works for each destination.
+func (p Plan) RingRoutesAvoiding(i, cut int) []peach2.RouteRule {
+	p.checkNode(i)
+	p.checkNode(cut)
+	n := p.nodes
+	var east, west []int
+	for d := 0; d < n; d++ {
+		if d == i {
+			continue
+		}
+		// Going east from i to d traverses east-links i, i+1, ..., d-1
+		// (mod n); the path is usable iff the cut link is not among
+		// them.
+		de := (d - i + n) % n
+		cutPos := (cut - i + n) % n
+		if cutPos >= de {
+			east = append(east, d)
+		} else {
+			west = append(west, d)
+		}
+	}
+	mask := ^pcie.Addr(p.windowSize - 1)
+	var rules []peach2.RouteRule
+	for _, r := range idRanges(east) {
+		rules = append(rules, peach2.RouteRule{Mask: mask, Lower: p.NodeWindow(r[0]).Base, Upper: p.NodeWindow(r[1]).Base, Out: peach2.PortE})
+	}
+	for _, r := range idRanges(west) {
+		rules = append(rules, peach2.RouteRule{Mask: mask, Lower: p.NodeWindow(r[0]).Base, Upper: p.NodeWindow(r[1]).Base, Out: peach2.PortW})
+	}
+	if len(rules) > peach2.MaxRouteRules {
+		panic(fmt.Sprintf("tcanet: avoidance rules for node %d exceed the register file (%d)", i, len(rules)))
+	}
+	return rules
+}
+
+// RerouteAvoidingCut reprograms every chip in the sub-cluster to avoid the
+// eastward cable out of node cut — the management-plane response to a dead
+// link. Traffic already queued on the dead link is not recalled (posted
+// writes in flight on a dead cable are lost in reality too); new traffic
+// takes the surviving arc.
+func (sc *SubCluster) RerouteAvoidingCut(cut int) {
+	for i := 0; i < len(sc.chips); i++ {
+		sc.chips[i].SetRoutes(sc.plan.RingRoutesAvoiding(i, cut))
+	}
+}

@@ -1,0 +1,143 @@
+package tcanet
+
+import (
+	"testing"
+
+	"tca/internal/pcie"
+	"tca/internal/peach2"
+	"tca/internal/sim"
+)
+
+func TestRingRoutesAvoidingNeverUsesCutLink(t *testing.T) {
+	for _, n := range []int{3, 4, 8, 16} {
+		p := MustPlan(n)
+		for cut := 0; cut < n; cut++ {
+			rules := map[int][]peach2.RouteRule{}
+			for i := 0; i < n; i++ {
+				rules[i] = p.RingRoutesAvoiding(i, cut)
+			}
+			next := func(i int, out peach2.PortID) int {
+				switch out {
+				case peach2.PortE:
+					if i == cut {
+						t.Fatalf("n=%d cut=%d: node %d routed east across the cut", n, cut, i)
+					}
+					return (i + 1) % n
+				case peach2.PortW:
+					if (i-1+n)%n == cut {
+						t.Fatalf("n=%d cut=%d: node %d routed west across the cut", n, cut, i)
+					}
+					return (i - 1 + n) % n
+				default:
+					t.Fatalf("unexpected egress %v", out)
+					return -1
+				}
+			}
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					if src == dst {
+						continue
+					}
+					a := p.NodeWindow(dst).Base + 0x40
+					hops := simulateRoute(p, rules, src, a, next)
+					if hops < 0 {
+						t.Fatalf("n=%d cut=%d: %d→%d unroutable", n, cut, src, dst)
+					}
+					// On a line, the hop count is the distance along
+					// the surviving arc.
+					de := (dst - src + n) % n
+					cutPos := (cut - src + n) % n
+					want := de
+					if cutPos < de {
+						want = n - de
+					}
+					if hops != want {
+						t.Fatalf("n=%d cut=%d: %d→%d took %d hops, want %d", n, cut, src, dst, hops, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRerouteAvoidingCutKeepsTrafficFlowing(t *testing.T) {
+	eng := sim.NewEngine()
+	sc, err := BuildRing(eng, 4, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the cut, node0 → node1 goes east over link 0→1.
+	before := sc.Chip(0).Stats().Forwarded[peach2.PortE]
+	// Management plane reroutes around a dead 0→1 cable.
+	sc.RerouteAvoidingCut(0)
+	buf, _ := sc.Node(1).AllocDMABuffer(64)
+	dst, _ := sc.GlobalHostAddr(1, buf)
+	sc.Node(0).Store(dst, []byte{7})
+	eng.Run()
+	got, _ := sc.Node(1).ReadLocal(buf, 1)
+	if got[0] != 7 {
+		t.Fatal("write did not arrive after reroute")
+	}
+	// It must have gone west the long way (0 →W 3 →W 2 →W 1), so node 0's
+	// E counter did not move and intermediate chips forwarded westward.
+	if sc.Chip(0).Stats().Forwarded[peach2.PortE] != before {
+		t.Fatal("traffic still used the dead eastward cable")
+	}
+	if sc.Chip(3).Stats().Forwarded[peach2.PortW] == 0 || sc.Chip(2).Stats().Forwarded[peach2.PortW] == 0 {
+		t.Fatal("long-way path not taken")
+	}
+	// The host-chip links were never affected (§V): another local DMA
+	// still works.
+	if !sc.Chip(0).Port(peach2.PortN).Connected() {
+		t.Fatal("host link lost")
+	}
+}
+
+func TestReconfigurePortS(t *testing.T) {
+	eng := sim.NewEngine()
+	sc, err := BuildRing(eng, 2, DefaultParams) // ring leaves S disconnected
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := sc.Chip(0)
+	if chip.Port(peach2.PortS).Role() != pcie.RoleEP {
+		t.Fatal("S should default to EP")
+	}
+	var at sim.Time
+	if err := chip.ReconfigurePortS(pcie.RoleRC, func(now sim.Time) { at = now }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if chip.Port(peach2.PortS).Role() != pcie.RoleRC {
+		t.Fatal("role did not switch")
+	}
+	if at < sim.Time(peach2.PartialReconfigTime) {
+		t.Fatalf("reconfiguration completed at %v — partial-reconfig time missing", at)
+	}
+	// The NIOS log records the event.
+	found := false
+	for _, e := range chip.NIOS().Events() {
+		if e.What == "port S reconfigured to RC" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("NIOS log missing the reconfiguration event")
+	}
+	// And the reconfigured port can now be cabled as RC.
+	peer := sc.Chip(1)
+	if _, err := pcie.Connect(eng, chip.Port(peach2.PortS), peer.Port(peach2.PortS), pcie.LinkParams{Config: pcie.Gen2x8}); err != nil {
+		t.Fatalf("post-reconfiguration connect failed: %v", err)
+	}
+}
+
+func TestReconfigurePortSRejectsConnectedPort(t *testing.T) {
+	eng := sim.NewEngine()
+	sc, err := BuildDualRing(eng, 2, DefaultParams) // S ports in use
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Chip(0).ReconfigurePortS(pcie.RoleEP, nil); err == nil {
+		t.Fatal("reconfiguration of a connected Port S accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Package trace provides a bounded in-memory event log the hardware models
+// can emit packet-level events into — what a logic analyzer on the PEACH2
+// board would show. The tcaring tool uses it to display a packet's path
+// through the sub-cluster.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"tca/internal/sim"
+)
+
+// Event is one trace record.
+type Event struct {
+	At    sim.Time
+	Where string
+	What  string
+}
+
+// Ring is a bounded trace buffer. The zero value is unusable; call New.
+type Ring struct {
+	events []Event
+	next   int
+	full   bool
+	total  uint64
+}
+
+// New creates a ring holding up to capacity events.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: capacity %d", capacity))
+	}
+	return &Ring{events: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (r *Ring) Record(at sim.Time, where, format string, args ...interface{}) {
+	r.events[r.next] = Event{At: at, Where: where, What: fmt.Sprintf(format, args...)}
+	r.next++
+	r.total++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len reports the number of retained events.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Total reports how many events were ever recorded.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.events[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events to w, one per line.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintf(w, "%12v  %-14s %s\n", e.At, e.Where, e.What)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingRecordsInOrder(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 5; i++ {
+		r.Record(0, "chip", "event %d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Len() != 5 || r.Total() != 5 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	for i, e := range evs {
+		if e.What != "event "+string(rune('0'+i)) {
+			t.Fatalf("event %d = %q", i, e.What)
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 7; i++ {
+		r.Record(0, "x", "e%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 || r.Total() != 7 {
+		t.Fatalf("len=%d total=%d", len(evs), r.Total())
+	}
+	if evs[0].What != "e4" || evs[2].What != "e6" {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestRingDump(t *testing.T) {
+	r := New(4)
+	r.Record(1000, "peach2-0", "route MWr")
+	var sb strings.Builder
+	r.Dump(&sb)
+	if !strings.Contains(sb.String(), "peach2-0") || !strings.Contains(sb.String(), "route MWr") {
+		t.Fatalf("dump = %q", sb.String())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

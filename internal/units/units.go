@@ -1,0 +1,158 @@
+// Package units provides byte-size, bandwidth and simulated-duration types
+// shared by the whole simulator.
+//
+// The simulator measures time in picoseconds (see sim.Time); bandwidth math
+// therefore stays exact for every realistic PCIe rate without floating-point
+// drift inside the hot event loop.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// ByteSize is a number of bytes. It exists mainly for formatting: sizes print
+// in the power-of-two units the paper uses (Kbytes, Mbytes, ...).
+type ByteSize int64
+
+// Power-of-two size units.
+const (
+	Byte ByteSize = 1
+	KiB           = 1024 * Byte
+	MiB           = 1024 * KiB
+	GiB           = 1024 * MiB
+	TiB           = 1024 * GiB
+)
+
+// String formats the size with a power-of-two suffix, e.g. "4KiB", "512GiB".
+func (b ByteSize) String() string {
+	neg := ""
+	v := b
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	switch {
+	case v >= TiB && v%TiB == 0:
+		return fmt.Sprintf("%s%dTiB", neg, v/TiB)
+	case v >= GiB && v%GiB == 0:
+		return fmt.Sprintf("%s%dGiB", neg, v/GiB)
+	case v >= MiB && v%MiB == 0:
+		return fmt.Sprintf("%s%dMiB", neg, v/MiB)
+	case v >= KiB && v%KiB == 0:
+		return fmt.Sprintf("%s%dKiB", neg, v/KiB)
+	case v >= TiB:
+		return fmt.Sprintf("%s%.2fTiB", neg, float64(v)/float64(TiB))
+	case v >= GiB:
+		return fmt.Sprintf("%s%.2fGiB", neg, float64(v)/float64(GiB))
+	case v >= MiB:
+		return fmt.Sprintf("%s%.2fMiB", neg, float64(v)/float64(MiB))
+	case v >= KiB:
+		return fmt.Sprintf("%s%.2fKiB", neg, float64(v)/float64(KiB))
+	default:
+		return fmt.Sprintf("%s%dB", neg, v)
+	}
+}
+
+// Bandwidth is a transfer rate in bytes per second.
+type Bandwidth float64
+
+// Decimal bandwidth units (the paper quotes PCIe rates in Gbytes/sec, i.e.
+// powers of ten).
+const (
+	BytePerSec Bandwidth = 1
+	KBPerSec             = 1e3 * BytePerSec
+	MBPerSec             = 1e6 * BytePerSec
+	GBPerSec             = 1e9 * BytePerSec
+)
+
+// String formats the bandwidth the way the paper's figures label their axes.
+func (bw Bandwidth) String() string {
+	switch {
+	case bw >= GBPerSec:
+		return fmt.Sprintf("%.3gGB/s", float64(bw)/1e9)
+	case bw >= MBPerSec:
+		return fmt.Sprintf("%.3gMB/s", float64(bw)/1e6)
+	case bw >= KBPerSec:
+		return fmt.Sprintf("%.3gKB/s", float64(bw)/1e3)
+	default:
+		return fmt.Sprintf("%.3gB/s", float64(bw))
+	}
+}
+
+// GBps reports the bandwidth in decimal gigabytes per second.
+func (bw Bandwidth) GBps() float64 { return float64(bw) / 1e9 }
+
+// MBps reports the bandwidth in decimal megabytes per second.
+func (bw Bandwidth) MBps() float64 { return float64(bw) / 1e6 }
+
+// Duration is a span of simulated time in picoseconds. It mirrors sim.Time;
+// both are picosecond counts so conversions are free.
+type Duration int64
+
+// Duration units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Nanoseconds reports the duration as a floating-point nanosecond count.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// Microseconds reports the duration as a floating-point microsecond count.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds reports the duration as a floating-point second count.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration with the most natural unit, e.g. "782ns",
+// "2.07us".
+func (d Duration) String() string {
+	neg := ""
+	v := d
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	switch {
+	case v >= Second:
+		return fmt.Sprintf("%s%.4gs", neg, float64(v)/float64(Second))
+	case v >= Millisecond:
+		return fmt.Sprintf("%s%.4gms", neg, float64(v)/float64(Millisecond))
+	case v >= Microsecond:
+		return fmt.Sprintf("%s%.4gus", neg, float64(v)/float64(Microsecond))
+	case v >= Nanosecond:
+		return fmt.Sprintf("%s%.4gns", neg, float64(v)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%s%dps", neg, int64(v))
+	}
+}
+
+// TimeToSend reports how long a transfer of n bytes takes at rate bw,
+// rounded up to the next picosecond. A zero or negative byte count costs
+// nothing. TimeToSend panics if bw is not positive: a zero-rate link is a
+// configuration error, not a runtime condition.
+func TimeToSend(n ByteSize, bw Bandwidth) Duration {
+	if n <= 0 {
+		return 0
+	}
+	if bw <= 0 {
+		panic(fmt.Sprintf("units: non-positive bandwidth %v", bw))
+	}
+	// The tiny epsilon absorbs float64 artifacts (4 B at 4 GB/s must be
+	// exactly 1000 ps, not ceil(1000.0000000000001) = 1001).
+	ps := float64(n) / float64(bw) * 1e12
+	return Duration(math.Ceil(ps - 1e-3))
+}
+
+// Rate reports the bandwidth achieved by moving n bytes in d simulated time.
+// It returns 0 when d is not positive (no time has passed).
+func Rate(n ByteSize, d Duration) Bandwidth {
+	if d <= 0 {
+		return 0
+	}
+	return Bandwidth(float64(n) / (float64(d) / 1e12))
+}

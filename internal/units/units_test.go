@@ -1,0 +1,168 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{0, "0B"},
+		{1, "1B"},
+		{512, "512B"},
+		{1024, "1KiB"},
+		{4 * KiB, "4KiB"},
+		{1536, "1.50KiB"},
+		{MiB, "1MiB"},
+		{512 * GiB, "512GiB"},
+		{TiB, "1TiB"},
+		{-4 * KiB, "-4KiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	cases := []struct {
+		in   Bandwidth
+		want string
+	}{
+		{4 * GBPerSec, "4GB/s"},
+		{3.66 * GBPerSec, "3.66GB/s"},
+		{830 * MBPerSec, "830MB/s"},
+		{1.5 * KBPerSec, "1.5KB/s"},
+		{12, "12B/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bandwidth(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthConversions(t *testing.T) {
+	bw := 3.5 * GBPerSec
+	if bw.GBps() != 3.5 {
+		t.Errorf("GBps() = %v, want 3.5", bw.GBps())
+	}
+	if bw.MBps() != 3500 {
+		t.Errorf("MBps() = %v, want 3500", bw.MBps())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		in   Duration
+		want string
+	}{
+		{0, "0ps"},
+		{500, "500ps"},
+		{Nanosecond, "1ns"},
+		{782 * Nanosecond, "782ns"},
+		{2070 * Nanosecond, "2.07us"},
+		{Millisecond, "1ms"},
+		{2 * Second, "2s"},
+		{-5 * Microsecond, "-5us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Nanosecond
+	if d.Nanoseconds() != 1500 {
+		t.Errorf("Nanoseconds() = %v, want 1500", d.Nanoseconds())
+	}
+	if d.Microseconds() != 1.5 {
+		t.Errorf("Microseconds() = %v, want 1.5", d.Microseconds())
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Errorf("Seconds() = %v, want 2", (2 * Second).Seconds())
+	}
+}
+
+func TestTimeToSend(t *testing.T) {
+	// 4 GB/s moving 4 bytes takes exactly 1 ns.
+	if got := TimeToSend(4, 4*GBPerSec); got != Nanosecond {
+		t.Errorf("TimeToSend(4B, 4GB/s) = %v, want 1ns", got)
+	}
+	// A 280-byte wire packet at 4 GB/s takes 70 ns (the paper's per-TLP time).
+	if got := TimeToSend(280, 4*GBPerSec); got != 70*Nanosecond {
+		t.Errorf("TimeToSend(280B, 4GB/s) = %v, want 70ns", got)
+	}
+	if got := TimeToSend(0, GBPerSec); got != 0 {
+		t.Errorf("TimeToSend(0) = %v, want 0", got)
+	}
+	if got := TimeToSend(-10, GBPerSec); got != 0 {
+		t.Errorf("TimeToSend(-10) = %v, want 0", got)
+	}
+}
+
+func TestTimeToSendRoundsUp(t *testing.T) {
+	// 1 byte at 3 GB/s is 333.33 ps; must round up to 334.
+	if got := TimeToSend(1, 3*GBPerSec); got != 334 {
+		t.Errorf("TimeToSend(1B, 3GB/s) = %v ps, want 334", int64(got))
+	}
+}
+
+func TestTimeToSendZeroBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TimeToSend with zero bandwidth did not panic")
+		}
+	}()
+	TimeToSend(100, 0)
+}
+
+func TestRate(t *testing.T) {
+	// 4096 bytes in 1120 ns is ~3.657 GB/s — the paper's theoretical peak.
+	got := Rate(4096, 1120*Nanosecond)
+	if got < 3.65*GBPerSec || got > 3.66*GBPerSec {
+		t.Errorf("Rate(4096B, 1120ns) = %v, want ~3.657GB/s", got)
+	}
+	if Rate(100, 0) != 0 {
+		t.Errorf("Rate with zero duration should be 0")
+	}
+	if Rate(100, -5) != 0 {
+		t.Errorf("Rate with negative duration should be 0")
+	}
+}
+
+// Property: Rate(TimeToSend(n, bw)) recovers bw within rounding error.
+func TestQuickRateInvertsTimeToSend(t *testing.T) {
+	f := func(n uint32, bwMB uint16) bool {
+		size := ByteSize(n%(1<<20) + 1)
+		bw := Bandwidth(bwMB%4000+1) * MBPerSec
+		d := TimeToSend(size, bw)
+		got := Rate(size, d)
+		// Rounding to whole picoseconds loses at most 1 ps.
+		lo := float64(bw) * 0.999
+		return float64(got) >= lo && float64(got) <= float64(bw)*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TimeToSend is monotonic in size.
+func TestQuickTimeToSendMonotonic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := ByteSize(a%(1<<24)), ByteSize(b%(1<<24))
+		if x > y {
+			x, y = y, x
+		}
+		return TimeToSend(x, GBPerSec) <= TimeToSend(y, GBPerSec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+package tca
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNewClusterRing(t *testing.T) {
+	cl, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Nodes() != 4 {
+		t.Fatalf("Nodes() = %d", cl.Nodes())
+	}
+	if cl.Now() != 0 {
+		t.Fatalf("clock started at %v", cl.Now())
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(1); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+	if _, err := NewCluster(17); err == nil {
+		t.Fatal("17-node cluster accepted")
+	}
+	if _, err := NewCluster(5, WithDualRing()); err == nil {
+		t.Fatal("odd dual ring accepted")
+	}
+	if _, err := NewCluster(8, WithDualRing()); err != nil {
+		t.Fatalf("8-node dual ring rejected: %v", err)
+	}
+}
+
+func TestMemcpyPeerSyncRoundTrip(t *testing.T) {
+	cl, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := cl.AllocGPU(0, 0, 64*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := cl.AllocGPU(2, 1, 64*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 32*KiB)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+	if err := cl.WriteGPU(src, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	d, err := cl.MemcpyPeerSync(dst, 0, src, 0, 32*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("transfer took %v", d)
+	}
+	got, err := cl.ReadGPU(dst, 0, 32*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("cross-node copy corrupted data")
+	}
+}
+
+func TestDMAModeOption(t *testing.T) {
+	two, err := NewCluster(2, WithDMAMode(TwoPhase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewCluster(2, WithDMAMode(Pipelined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cl *Cluster) Duration {
+		src, _ := cl.AllocGPU(0, 0, 64*KiB)
+		dst, _ := cl.AllocGPU(1, 0, 64*KiB)
+		if err := cl.WriteGPU(src, 0, make([]byte, 64*KiB)); err != nil {
+			t.Fatal(err)
+		}
+		d, err := cl.MemcpyPeerSync(dst, 0, src, 0, 64*KiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	dTwo, dPipe := run(two), run(pipe)
+	if dPipe >= dTwo {
+		t.Fatalf("pipelined (%v) not faster than two-phase (%v)", dPipe, dTwo)
+	}
+}
+
+func TestPIOPutAcrossCluster(t *testing.T) {
+	cl, err := NewCluster(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := cl.AllocHost(5, 4*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := cl.GlobalHost(buf, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PIOPut(0, dst, []byte{0xCA, 0xFE}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run()
+	got, _ := cl.ReadHost(buf, 0x100, 2)
+	if got[0] != 0xCA || got[1] != 0xFE {
+		t.Fatal("PIO put did not land on node 5")
+	}
+}
+
+func TestDualRingTransfer(t *testing.T) {
+	cl, err := NewCluster(8, WithDualRing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := cl.AllocGPU(1, 0, 4*KiB)
+	dst, _ := cl.AllocGPU(6, 0, 4*KiB) // other ring: must cross Port S
+	want := []byte("across the S port")
+	if err := cl.WriteGPU(src, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.MemcpyPeerSync(dst, 0, src, 0, ByteSize(len(want))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cl.ReadGPU(dst, 0, ByteSize(len(want)))
+	if !bytes.Equal(got, want) {
+		t.Fatal("dual-ring copy corrupted data")
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(Experiments()) < 14 {
+		t.Fatalf("only %d experiments exposed", len(Experiments()))
+	}
+	e, ok := FindExperiment("fig9")
+	if !ok {
+		t.Fatal("Fig9 not found")
+	}
+	tab := e.Run(DefaultParams())
+	if len(tab.Rows) == 0 {
+		t.Fatal("Fig9 produced no rows")
+	}
+	if e.Check != nil {
+		if err := e.Check(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	cl, _ := NewCluster(2)
+	cl.RunFor(5 * Microsecond)
+	if cl.Now() != 5*Microsecond {
+		t.Fatalf("Now() = %v after RunFor(5us)", cl.Now())
+	}
+}
+
+func TestFacadeBlockStride(t *testing.T) {
+	cl, err := NewCluster(2, WithDMAMode(Pipelined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := cl.AllocHost(0, 64*KiB)
+	dst, _ := cl.AllocHost(1, 64*KiB)
+	want := make([]byte, 512)
+	for i := range want {
+		want[i] = byte(i * 9)
+	}
+	for i := 0; i < 4; i++ {
+		if err := cl.WriteHost(src, ByteSize(i)*4096, want); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, _ := cl.GlobalHost(dst, 0)
+	done := false
+	err = cl.PutBlockStride(0, src.Bus, g, BlockStride{
+		BlockLen: 512, Count: 4, SrcStride: 4096, DstStride: 512,
+	}, func(Duration) { done = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run()
+	if !done {
+		t.Fatal("block-stride never completed")
+	}
+	for i := 0; i < 4; i++ {
+		got, _ := cl.ReadHost(dst, ByteSize(i)*512, 512)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("gathered block %d corrupted", i)
+		}
+	}
+}
+
+func TestFacadeFlags(t *testing.T) {
+	cl, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := cl.AllocHost(1, 4*KiB)
+	g, _ := cl.GlobalHost(buf, 64)
+	var seenAt Duration
+	cl.WaitFlag(buf, 64, func(at Duration) { seenAt = at })
+	if err := cl.WriteFlag(0, g, 77); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run()
+	if seenAt == 0 {
+		t.Fatal("flag never observed")
+	}
+	raw, _ := cl.ReadHost(buf, 64, 8)
+	if raw[0] != 77 {
+		t.Fatalf("flag value = %d", raw[0])
+	}
+}
+
+func TestFacadeWithParams(t *testing.T) {
+	p := DefaultParams()
+	p.CableProp = 500 * Nanosecond
+	slow, err := NewCluster(2, WithParams(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(cl *Cluster) Duration {
+		buf, _ := cl.AllocHost(1, 4*KiB)
+		g, _ := cl.GlobalHost(buf, 0)
+		var at Duration
+		cl.WaitFlag(buf, 0, func(a Duration) { at = a })
+		if err := cl.PIOPut(0, g, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+			t.Fatal(err)
+		}
+		cl.Run()
+		return at
+	}
+	if measure(slow) <= measure(fast) {
+		t.Fatal("longer cable did not increase PIO latency — WithParams ignored")
+	}
+}
