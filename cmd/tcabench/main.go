@@ -5,6 +5,7 @@
 //	tcabench -exp all            # run the full evaluation (§IV + ablations)
 //	tcabench -exp fig12 -csv     # machine-readable output
 //	tcabench -exp all -check     # also apply the shape checks
+//	tcabench -metrics table      # dump an instrumented run's metrics snapshot
 package main
 
 import (
@@ -32,8 +33,28 @@ func main() {
 		check    = flag.Bool("check", false, "apply each experiment's paper-shape check")
 		cable    = flag.Duration("cable", 0, "override the external-cable latency (e.g. 150ns)")
 		parallel = flag.Bool("parallel", false, "run experiments concurrently (identical results; each owns its engine)")
+		metrics  = flag.String("metrics", "", "run an instrumented demo workload and dump its metrics snapshot (table | json | prom)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		snap := bench.MetricsReport(tcanet.DefaultParams)
+		switch *metrics {
+		case "table":
+			snap.WriteTable(os.Stdout)
+		case "json":
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "tcabench:", err)
+				os.Exit(1)
+			}
+		case "prom":
+			snap.WritePrometheus(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "tcabench: unknown -metrics format %q\n", *metrics)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -14,10 +14,10 @@ import (
 	"strconv"
 	"strings"
 
+	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/sim"
 	"tca/internal/tcanet"
-	"tca/internal/trace"
 	"tca/internal/units"
 )
 
@@ -91,16 +91,11 @@ func printRoutes(sc *tcanet.SubCluster) {
 	fmt.Println()
 }
 
-// tracePacket follows one 4-byte PIO store through the fabric.
+// tracePacket follows one 4-byte PIO store through the fabric using the
+// structured span recorder (the same events tcatrace renders).
 func tracePacket(eng *sim.Engine, sc *tcanet.SubCluster, src, dst int) {
-	ring := trace.New(64)
-	for i := 0; i < sc.Nodes(); i++ {
-		chip := sc.Chip(i)
-		name := chip.DevName()
-		chip.SetTracer(func(now sim.Time, what string) {
-			ring.Record(now, name, "%s", what)
-		})
-	}
+	set := obsv.NewSet(256)
+	sc.Instrument(set)
 	buf, err := sc.Node(dst).AllocDMABuffer(64)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcaring:", err)
@@ -114,9 +109,13 @@ func tracePacket(eng *sim.Engine, sc *tcanet.SubCluster, src, dst int) {
 	var seen sim.Time
 	sc.Node(dst).Poll(pcie.Range{Base: buf, Size: 4}, func(now sim.Time) { seen = now })
 	fmt.Printf("Tracing PIO write node%d -> node%d (global %v):\n", src, dst, g)
-	sc.Node(src).Store(g, []byte{1, 2, 3, 4})
+	txn := sc.Node(src).StoreTxn(g, []byte{1, 2, 3, 4})
 	eng.Run()
-	ring.Dump(os.Stdout)
+	events := set.Recorder().TxnEvents(txn)
+	for _, ev := range events {
+		fmt.Printf("  %12v  %s\n", units.Duration(ev.At), ev)
+	}
+	obsv.WriteBreakdown(os.Stdout, obsv.Breakdown(events))
 	if seen == 0 {
 		fmt.Println("  packet never arrived!")
 		os.Exit(1)

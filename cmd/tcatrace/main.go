@@ -1,0 +1,92 @@
+// Command tcatrace inspects the fabric with the observability layer: it
+// runs a small scenario with transaction tracing on and prints each traced
+// span's hop-by-hop latency breakdown (the Fig. 9–10 decomposition view)
+// plus a metrics snapshot.
+//
+//	tcatrace -scenario pingpong -nodes 4 -src 0 -dst 2
+//	tcatrace -scenario forward -nodes 8 -dst 3 -events
+//	tcatrace -scenario dma -size 4096 -count 8 -metrics json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tca/internal/bench"
+	"tca/internal/obsv"
+	"tca/internal/tcanet"
+	"tca/internal/units"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "pingpong", "scenario: pingpong | forward | dma")
+		nodes    = flag.Int("nodes", 4, "ring size (pingpong/forward)")
+		src      = flag.Int("src", 0, "source node")
+		dst      = flag.Int("dst", 1, "destination node")
+		size     = flag.Int("size", 4096, "DMA block size in bytes (dma)")
+		count    = flag.Int("count", 8, "DMA descriptor count (dma)")
+		metrics  = flag.String("metrics", "table", "metrics snapshot format: table | json | prom | none")
+		events   = flag.Bool("events", false, "also dump each span's raw events")
+	)
+	flag.Parse()
+
+	if *nodes < 2 || *nodes > 16 {
+		fmt.Fprintln(os.Stderr, "tcatrace: -nodes must be in [2, 16]")
+		os.Exit(2)
+	}
+	if *src == *dst || *src < 0 || *dst < 0 || *src >= *nodes || *dst >= *nodes {
+		fmt.Fprintln(os.Stderr, "tcatrace: need distinct -src/-dst inside the ring")
+		os.Exit(2)
+	}
+	switch *metrics {
+	case "table", "json", "prom", "none":
+	default:
+		fmt.Fprintf(os.Stderr, "tcatrace: unknown metrics format %q\n", *metrics)
+		os.Exit(2)
+	}
+
+	prm := tcanet.DefaultParams
+	var tr *bench.TraceResult
+	switch *scenario {
+	case "pingpong":
+		tr = bench.TracePingPong(prm, *nodes, *src, *dst)
+	case "forward":
+		tr = bench.TraceForward(prm, *nodes, *src, *dst)
+	case "dma":
+		tr = bench.TraceDMA(prm, units.ByteSize(*size), *count)
+	default:
+		fmt.Fprintf(os.Stderr, "tcatrace: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	fmt.Printf("scenario: %s\n\n", tr.Scenario)
+	for i, sp := range tr.Spans {
+		fmt.Printf("span %d (txn %d), %d events, hop sum %v:\n", i, sp.Txn, len(sp.Events), sp.Total)
+		obsv.WriteBreakdown(os.Stdout, sp.Hops)
+		if *events {
+			for _, ev := range sp.Events {
+				fmt.Printf("    %12v  %s\n", units.Duration(ev.At), ev)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("end-to-end: %v\n", tr.EndToEnd)
+
+	switch *metrics {
+	case "none":
+	case "table":
+		fmt.Println("\nmetrics:")
+		tr.Snapshot.WriteTable(os.Stdout)
+	case "json":
+		fmt.Println()
+		if err := tr.Snapshot.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tcatrace:", err)
+			os.Exit(1)
+		}
+	case "prom":
+		fmt.Println()
+		tr.Snapshot.WritePrometheus(os.Stdout)
+	}
+}

@@ -201,6 +201,7 @@ func All() []Experiment {
 		{"ExtRingScaling", "Ring contention vs sub-cluster size (extension)", ExtRingScaling, nil},
 		{"ExtLatencyBudget", "PIO loopback latency decomposition (extension)", ExtLatencyBudget, nil},
 		{"ExtCollVsMPI", "Allreduce: TCA vs MPI-over-IB (extension)", ExtCollVsMPI, nil},
+		{"ExtLatencyDist", "PIO latency distribution with p95/p99 tails (extension)", ExtLatencyDist, nil},
 	}
 }
 

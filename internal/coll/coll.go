@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"tca/internal/core"
+	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/sim"
 	"tca/internal/units"
@@ -27,6 +28,12 @@ type Communicator struct {
 	n     int
 	seq   int // distinguishes successive collectives' mailboxes
 	boxes []mailbox
+
+	// Observability (nil handles when the sub-cluster is uninstrumented).
+	mBarriers   *obsv.Counter
+	mBcasts     *obsv.Counter
+	mAllreduces *obsv.Counter
+	mSignals    *obsv.Counter
 }
 
 // mailbox is one node's inbox for collective traffic: a staging area and a
@@ -53,6 +60,11 @@ func New(comm *core.Comm) (*Communicator, error) {
 		}
 		c.boxes = append(c.boxes, mailbox{buf: buf})
 	}
+	reg := comm.SubCluster().Observability().Registry()
+	c.mBarriers = reg.Counter("coll_barriers", "coll")
+	c.mBcasts = reg.Counter("coll_bcasts", "coll")
+	c.mAllreduces = reg.Counter("coll_allreduces", "coll")
+	c.mSignals = reg.Counter("coll_signals", "coll")
 	return c, nil
 }
 
@@ -79,6 +91,7 @@ func (c *Communicator) watchFlag(i int, fn func(now sim.Time, value uint64)) {
 
 // signal writes value into dst's flag word from src's CPU.
 func (c *Communicator) signal(src, dst int, value uint64) {
+	c.mSignals.Inc()
 	g, err := c.comm.GlobalHost(c.boxes[dst].buf, mailboxSize)
 	if err != nil {
 		panic(fmt.Sprintf("coll: %v", err))
@@ -128,6 +141,7 @@ func (c *Communicator) putThenSignal(src int, srcBus pcie.Addr, dst int, off uni
 // (log2(n) rounds, each node signalling rank+2^k). done fires on every
 // node's completion; the callback receives the completion time.
 func (c *Communicator) Barrier(done func(now sim.Time)) {
+	c.mBarriers.Inc()
 	if c.n == 1 {
 		done(0)
 		return
@@ -205,6 +219,7 @@ func (c *Communicator) Bcast(root int, rootBus pcie.Addr, dsts []core.HostBuffer
 	if n <= 0 || n > mailboxSize {
 		return fmt.Errorf("coll: Bcast of %v exceeds the %v mailbox", n, units.ByteSize(mailboxSize))
 	}
+	c.mBcasts.Inc()
 	c.seq++
 	gen := uint64(c.seq) << 32
 
@@ -264,6 +279,7 @@ func (c *Communicator) Allreduce(bufs []core.HostBuffer, count int, done func(no
 	if chunk > mailboxSize {
 		return fmt.Errorf("coll: chunk %v exceeds the %v mailbox", chunk, units.ByteSize(mailboxSize))
 	}
+	c.mAllreduces.Inc()
 	c.seq++
 	myGen := uint64(c.seq)
 	gen := myGen << 32

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"tca/internal/host"
+	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/peach2"
 	"tca/internal/sim"
@@ -63,6 +64,14 @@ type driver struct {
 	busy     bool
 	queue    []chainReq
 	current  func(now sim.Time)
+
+	// Observability (nil when the sub-cluster is uninstrumented). The
+	// driver closes a traced chain's span with StageChainDone when its
+	// completion callback runs — the last hop of a Fig. 9-style DMA
+	// breakdown.
+	rec     *obsv.Recorder
+	mChains *obsv.Counter
+	mPuts   *obsv.Counter
 }
 
 type chainReq struct {
@@ -70,15 +79,23 @@ type chainReq struct {
 	done  func(now sim.Time)
 }
 
-// NewComm attaches drivers to every node of the sub-cluster.
+// NewComm attaches drivers to every node of the sub-cluster. If the
+// sub-cluster was instrumented (tcanet.SubCluster.Instrument) before this
+// call, the drivers register their own chain/put counters and close traced
+// DMA spans in the interrupt handler.
 func NewComm(sc *tcanet.SubCluster) (*Comm, error) {
 	c := &Comm{sc: sc, mode: TwoPhase}
+	obs := sc.Observability()
 	for i := 0; i < sc.Nodes(); i++ {
 		buf, err := sc.Node(i).AllocDMABuffer(maxChain * peach2.DescriptorBytes)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %d table buffer: %w", i, err)
 		}
 		d := &driver{node: sc.Node(i), chip: sc.Chip(i), tableBuf: buf}
+		comp := fmt.Sprintf("node%d/driver", i)
+		d.rec = obs.Recorder()
+		d.mChains = obs.Registry().Counter("driver_chains", comp)
+		d.mPuts = obs.Registry().Counter("driver_pio_puts", comp)
 		d.chip.SetIRQHandler(d.onIRQ)
 		c.drv = append(c.drv, d)
 	}
@@ -129,6 +146,7 @@ func (d *driver) submit(req chainReq) {
 func (d *driver) start(req chainReq) {
 	d.busy = true
 	d.current = req.done
+	d.mChains.Inc()
 	table := peach2.EncodeTable(req.descs)
 	if err := d.node.WriteLocal(d.tableBuf, table); err != nil {
 		panic(fmt.Sprintf("core: table write: %v", err))
@@ -139,6 +157,12 @@ func (d *driver) start(req chainReq) {
 }
 
 func (d *driver) onIRQ(now sim.Time) {
+	if d.rec != nil {
+		if txn := d.chip.DMAC().LastChainTxn(); txn != 0 {
+			d.rec.Record(obsv.Event{At: now, Txn: txn, Stage: obsv.StageChainDone,
+				Where: d.node.Name() + "/driver"})
+		}
+	}
 	done := d.current
 	d.current = nil
 	d.busy = false
@@ -171,9 +195,10 @@ func (c *Comm) PIOPut(node int, dst pcie.Addr, data []byte) error {
 	if len(data) == 0 {
 		return fmt.Errorf("core: empty PIO put")
 	}
-	n := c.driverOf(node).node
+	d := c.driverOf(node)
+	d.mPuts.Inc()
 	for _, w := range pcie.SplitWrite(dst, data, pcie.DefaultMaxPayload, false) {
-		n.Store(w.Addr, w.Data)
+		d.node.Store(w.Addr, w.Data)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"tca/internal/gpu"
 	"tca/internal/memory"
+	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/sim"
 	"tca/internal/units"
@@ -95,6 +96,17 @@ type Node struct {
 	nextWindow pcie.Addr
 	dmaNext    uint64
 	idNext     pcie.DeviceID
+
+	// Observability (nil when disabled).
+	rec *obsv.Recorder
+}
+
+// Instrument attaches the node and its root complex to an observability
+// set: every subsequent Store is a traced transaction, and DRAM traffic
+// records host-side span events and counters.
+func (n *Node) Instrument(set *obsv.Set) {
+	n.rec = set.Recorder()
+	n.rc.instrument(set)
 }
 
 // NewNode builds a node with its switches and four GPUs attached. PEACH2
@@ -229,20 +241,40 @@ func (n *Node) ReadLocal(a pcie.Addr, size units.ByteSize) ([]byte, error) {
 // access according to an ordinary store instruction to the mmaped area."
 // The data must fit one TLP.
 func (n *Node) Store(a pcie.Addr, data []byte) {
+	n.StoreTxn(a, data)
+}
+
+// StoreTxn is Store returning the observability transaction ID assigned to
+// the write (0 when the node is uninstrumented). The span opens with a
+// StageCPUStore event at the instant the store issues, so a transaction's
+// hop sum equals its end-to-end PIO latency.
+func (n *Node) StoreTxn(a pcie.Addr, data []byte) uint64 {
 	if len(data) == 0 || len(data) > int(pcie.DefaultMaxPayload) {
 		panic(fmt.Sprintf("host %s: Store of %d bytes", n.name, len(data)))
 	}
 	buf := append([]byte(nil), data...)
+	txn := n.rec.NextTxn()
+	if txn != 0 {
+		n.rec.Record(obsv.Event{At: n.eng.Now(), Txn: txn, Stage: obsv.StageCPUStore,
+			Where: n.name, Addr: uint64(a)})
+	}
 	n.eng.After(n.params.StoreLatency, func() {
-		n.rc.routeFromCPU(n.eng.Now(), &pcie.TLP{Kind: pcie.MWr, Addr: a, Data: buf, Last: true})
+		n.rc.routeFromCPU(n.eng.Now(), &pcie.TLP{Kind: pcie.MWr, Addr: a, Data: buf, Last: true, Txn: txn})
 	})
+	return txn
 }
 
 // Poll arranges fn to run when a device write lands in host memory at range
 // r, plus the poll-loop detection latency — the measurement technique of
 // §IV-B1 step 6.
 func (n *Node) Poll(r pcie.Range, fn func(now sim.Time)) {
-	n.rc.watch(r, func(at sim.Time) {
-		n.eng.After(n.params.PollDetectLatency, func() { fn(n.eng.Now()) })
+	n.rc.watch(r, func(at sim.Time, txn uint64) {
+		n.eng.After(n.params.PollDetectLatency, func() {
+			if txn != 0 && n.rec != nil {
+				n.rec.Record(obsv.Event{At: n.eng.Now(), Txn: txn,
+					Stage: obsv.StagePollSeen, Where: n.name, Addr: uint64(r.Base)})
+			}
+			fn(n.eng.Now())
+		})
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tca/internal/memory"
+	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/sim"
 	"tca/internal/units"
@@ -28,11 +29,28 @@ type RootComplex struct {
 	dramWrites uint64
 	dramReads  uint64
 	qpiForward uint64
+
+	// Observability (nil when disabled).
+	rec         *obsv.Recorder
+	mDRAMWrites *obsv.Counter
+	mDRAMReads  *obsv.Counter
+	mQPI        *obsv.Counter
 }
 
 type rcWatch struct {
-	r  pcie.Range
-	fn func(at sim.Time)
+	r pcie.Range
+	// fn receives the landing time and the writing TLP's transaction ID so
+	// a traced write's poll detection closes the same span.
+	fn func(at sim.Time, txn uint64)
+}
+
+// instrument registers the root complex's metrics and span recorder.
+func (rc *RootComplex) instrument(set *obsv.Set) {
+	reg := set.Registry()
+	rc.rec = set.Recorder()
+	rc.mDRAMWrites = reg.Counter("dram_write_tlps", rc.DevName())
+	rc.mDRAMReads = reg.Counter("dram_read_tlps", rc.DevName())
+	rc.mQPI = reg.Counter("qpi_forwards", rc.DevName())
 }
 
 func newRootComplex(n *Node) *RootComplex {
@@ -60,7 +78,7 @@ func (rc *RootComplex) socketOf(a pcie.Addr) (int, bool) {
 	return 0, false
 }
 
-func (rc *RootComplex) watch(r pcie.Range, fn func(at sim.Time)) {
+func (rc *RootComplex) watch(r pcie.Range, fn func(at sim.Time, txn uint64)) {
 	rc.watches = append(rc.watches, rcWatch{r: r, fn: fn})
 }
 
@@ -88,10 +106,15 @@ func (rc *RootComplex) writeDRAM(now sim.Time, t *pcie.TLP) {
 		panic(fmt.Sprintf("%s: DRAM write %v: %v", rc.DevName(), t.Addr, err))
 	}
 	rc.dramWrites++
+	rc.mDRAMWrites.Inc()
+	if rc.rec != nil && t.Txn != 0 {
+		rc.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageHostWrite,
+			Where: rc.DevName(), Addr: uint64(t.Addr)})
+	}
 	hit := pcie.Range{Base: t.Addr, Size: uint64(len(t.Data))}
 	for _, w := range rc.watches {
 		if w.r.Overlaps(hit) {
-			w.fn(now)
+			w.fn(now, t.Txn)
 		}
 	}
 }
@@ -119,6 +142,7 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 		// Cross-QPI peer-to-peer write: heavily serialized (§IV-A2:
 		// "severely degraded by up to several hundred Mbytes/sec").
 		rc.qpiForward++
+		rc.mQPI.Inc()
 		start := rc.qpiSer.Reserve(now, rc.node.params.QPIWriteService)
 		depart := start.Add(rc.node.params.QPIWriteService).Add(rc.node.params.QPILatency)
 		rc.node.eng.At(depart, func() {
@@ -128,6 +152,11 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 	case pcie.MRd:
 		if rc.dramWindow().Contains(t.Addr) {
 			rc.dramReads++
+			rc.mDRAMReads.Inc()
+			if rc.rec != nil && t.Txn != 0 {
+				rc.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageHostRead,
+					Where: rc.DevName(), Addr: uint64(t.Addr)})
+			}
 			req := *t
 			reply := now.Add(rc.node.params.DRAMReadLatency)
 			rc.node.eng.At(reply, func() {

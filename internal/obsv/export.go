@@ -1,0 +1,149 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSON renders the snapshot as indented JSON, suitable for piping
+// into analysis scripts.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// promName sanitizes a metric name into Prometheus exposition form and
+// prefixes the simulator's namespace.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("tca_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func promLabels(component string, labels []Label) string {
+	var sb strings.Builder
+	sb.WriteString(`{component="`)
+	sb.WriteString(component)
+	sb.WriteString(`"`)
+	for _, l := range labels {
+		sb.WriteString(",")
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(l.Value)
+		sb.WriteString(`"`)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func promLabelsExtra(component string, labels []Label, key, value string) string {
+	base := promLabels(component, labels)
+	return base[:len(base)-1] + "," + key + `="` + value + `"}`
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (one TYPE line per metric family, histogram `_bucket`/`_sum`/
+// `_count` series with cumulative `le` buckets in nanoseconds).
+func (s *Snapshot) WritePrometheus(w io.Writer) {
+	typed := make(map[string]bool)
+	writeType := func(name, kind string) {
+		if !typed[name] {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+			typed[name] = true
+		}
+	}
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		writeType(name, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", name, promLabels(c.Component, c.Labels), c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		writeType(name, "gauge")
+		fmt.Fprintf(w, "%s%s %d\n", name, promLabels(g.Component, g.Labels), g.Value)
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		writeType(name, "histogram")
+		cum := uint64(0)
+		for i, b := range h.BoundsNS {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+				promLabelsExtra(h.Component, h.Labels, "le", fmt.Sprintf("%d", b)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			promLabelsExtra(h.Component, h.Labels, "le", "+Inf"), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %g\n", name, promLabels(h.Component, h.Labels), h.SumNS)
+		fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(h.Component, h.Labels), h.Count)
+	}
+}
+
+// WriteTable renders the snapshot as an aligned human-readable table,
+// omitting zero-valued counters to keep ring-wide dumps readable.
+func (s *Snapshot) WriteTable(w io.Writer) {
+	rows := make([][3]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for _, c := range s.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		rows = append(rows, [3]string{c.Component, metricLabel(c.Name, c.Labels), fmt.Sprintf("%d", c.Value)})
+	}
+	for _, g := range s.Gauges {
+		rows = append(rows, [3]string{g.Component, metricLabel(g.Name, g.Labels), fmt.Sprintf("%d", g.Value)})
+	}
+	for _, h := range s.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		mean := h.SumNS / float64(h.Count)
+		rows = append(rows, [3]string{h.Component, metricLabel(h.Name, h.Labels),
+			fmt.Sprintf("n=%d mean=%.1fns", h.Count, mean)})
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "  (no nonzero metrics)")
+		return
+	}
+	w0, w1 := len("component"), len("metric")
+	for _, r := range rows {
+		if len(r[0]) > w0 {
+			w0 = len(r[0])
+		}
+		if len(r[1]) > w1 {
+			w1 = len(r[1])
+		}
+	}
+	fmt.Fprintf(w, "  %-*s  %-*s  %s\n", w0, "component", w1, "metric", "value")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-*s  %-*s  %s\n", w0, r[0], w1, r[1], r[2])
+	}
+}
+
+func metricLabel(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteString("{")
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString("=")
+		sb.WriteString(l.Value)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

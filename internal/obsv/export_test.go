@@ -1,0 +1,112 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+
+	"tca/internal/units"
+)
+
+// goldenSnapshot builds a small deterministic registry: one labelled
+// counter, one gauge, one two-bucket histogram with three samples.
+func goldenSnapshot() *Snapshot {
+	reg := NewRegistry()
+	reg.Counter("tlps", "portE", Label{Key: "dir", Value: "tx"}).Add(3)
+	reg.Gauge("queue", "dmac").Set(2)
+	h := reg.Histogram("lat", "dmac", []units.Duration{units.Microsecond, 10 * units.Microsecond})
+	h.Observe(500 * units.Nanosecond)
+	h.Observe(5 * units.Microsecond)
+	h.Observe(20 * units.Microsecond)
+	return reg.Snapshot(42_000)
+}
+
+const goldenJSON = `{
+  "at_ps": 42000,
+  "counters": [
+    {
+      "name": "tlps",
+      "component": "portE",
+      "labels": [
+        {
+          "key": "dir",
+          "value": "tx"
+        }
+      ],
+      "value": 3
+    }
+  ],
+  "gauges": [
+    {
+      "name": "queue",
+      "component": "dmac",
+      "value": 2
+    }
+  ],
+  "histograms": [
+    {
+      "name": "lat",
+      "component": "dmac",
+      "bounds_ns": [
+        1000,
+        10000
+      ],
+      "buckets": [
+        1,
+        1,
+        1
+      ],
+      "count": 3,
+      "sum_ns": 25500
+    }
+  ]
+}
+`
+
+func TestWriteJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenSnapshot().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != goldenJSON {
+		t.Errorf("JSON output drifted:\n--- got ---\n%s--- want ---\n%s", sb.String(), goldenJSON)
+	}
+}
+
+const goldenProm = `# TYPE tca_tlps counter
+tca_tlps{component="portE",dir="tx"} 3
+# TYPE tca_queue gauge
+tca_queue{component="dmac"} 2
+# TYPE tca_lat histogram
+tca_lat_bucket{component="dmac",le="1000"} 1
+tca_lat_bucket{component="dmac",le="10000"} 2
+tca_lat_bucket{component="dmac",le="+Inf"} 3
+tca_lat_sum{component="dmac"} 25500
+tca_lat_count{component="dmac"} 3
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	goldenSnapshot().WritePrometheus(&sb)
+	if sb.String() != goldenProm {
+		t.Errorf("Prometheus output drifted:\n--- got ---\n%s--- want ---\n%s", sb.String(), goldenProm)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var sb strings.Builder
+	goldenSnapshot().WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"component", "tlps{dir=tx}", "queue", "n=3 mean=8500.0ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-valued counters are omitted; an all-zero snapshot says so.
+	reg := NewRegistry()
+	reg.Counter("idle", "x")
+	sb.Reset()
+	reg.Snapshot(0).WriteTable(&sb)
+	if !strings.Contains(sb.String(), "(no nonzero metrics)") {
+		t.Errorf("empty table output = %q", sb.String())
+	}
+}

@@ -3,6 +3,7 @@ package pcie
 import (
 	"fmt"
 
+	"tca/internal/obsv"
 	"tca/internal/sim"
 	"tca/internal/units"
 )
@@ -125,6 +126,13 @@ type Link struct {
 	// Stats
 	tlpsSent  [2]uint64
 	bytesSent [2]units.ByteSize
+
+	// Observability (nil when disabled — all updates are no-ops then).
+	obsName  string
+	rec      *obsv.Recorder
+	mTLPs    [2]*obsv.Counter
+	mBytes   [2]*obsv.Counter
+	mStalled [2]*obsv.Counter
 }
 
 type linkDir struct {
@@ -174,6 +182,22 @@ func MustConnect(eng *sim.Engine, a, b *Port, params LinkParams) *Link {
 // Params returns the link's configuration.
 func (l *Link) Params() LinkParams { return l.params }
 
+// Instrument attaches the link to an observability set under the given
+// name: per-direction TLP/byte/credit-stall counters in the registry, and
+// StageLinkTx span events for traced packets. Direction labels follow the
+// port order passed to Connect ("ab" = a→b).
+func (l *Link) Instrument(set *obsv.Set, name string) {
+	reg := set.Registry()
+	l.obsName = name
+	l.rec = set.Recorder()
+	dirs := [2]string{"ab", "ba"}
+	for i, d := range dirs {
+		l.mTLPs[i] = reg.Counter("link_tlps_tx", name, obsv.Label{Key: "dir", Value: d})
+		l.mBytes[i] = reg.Counter("link_bytes_tx", name, obsv.Label{Key: "dir", Value: d})
+		l.mStalled[i] = reg.Counter("link_credit_stalls", name, obsv.Label{Key: "dir", Value: d})
+	}
+}
+
 // Stats reports TLP and byte counts sent from port a→b and b→a.
 func (l *Link) Stats() (tlps [2]uint64, bytes [2]units.ByteSize) {
 	return l.tlpsSent, l.bytesSent
@@ -198,7 +222,10 @@ func (l *Link) send(now sim.Time, from *Port, t *TLP) {
 	d, di := l.dir(from)
 	l.tlpsSent[di]++
 	l.bytesSent[di] += t.WireBytes()
+	l.mTLPs[di].Inc()
+	l.mBytes[di].Add(uint64(t.WireBytes()))
 	if d.inFlight >= l.params.CreditTLPs {
+		l.mStalled[di].Inc()
 		d.waiting = append(d.waiting, t)
 		return
 	}
@@ -210,6 +237,10 @@ func (l *Link) transmit(now sim.Time, d *linkDir, t *TLP) {
 	d.inFlight++
 	ser := units.TimeToSend(t.WireBytes(), l.params.Config.RawBandwidth())
 	start := d.wire.Reserve(now, ser)
+	if l.rec != nil && t.Txn != 0 {
+		l.rec.Record(obsv.Event{At: start, Txn: t.Txn, Stage: obsv.StageLinkTx,
+			Where: l.obsName, Port: d.dst.Label, Addr: uint64(t.Addr)})
+	}
 	arrive := start.Add(ser).Add(l.params.Propagation)
 	l.eng.At(arrive, func() {
 		drain := d.dst.owner.Accept(l.eng.Now(), t, d.dst)

@@ -97,6 +97,10 @@ type TLP struct {
 	// packet of a chain whose destination is remote *host* memory; deep-
 	// queue (GPU) sinks never need it (§IV-B2).
 	Flush bool
+	// Txn is the observability transaction ID: every instrumented PIO
+	// store and DMA chain tags its packets so each hop can record a span
+	// event (internal/obsv). Zero means "untraced" and records nothing.
+	Txn uint64
 }
 
 // PayloadLen reports the packet's payload byte count.
@@ -240,11 +244,12 @@ func SplitCompletion(req *TLP, data []byte, maxPayload units.ByteSize) []*TLP {
 			Data:      data[off : off+n : off+n],
 			Requester: req.Requester,
 			Tag:       req.Tag,
+			Txn:       req.Txn,
 		})
 		off += n
 	}
 	if len(tlps) == 0 {
-		return []*TLP{{Kind: Cpl, Requester: req.Requester, Tag: req.Tag, Last: true}}
+		return []*TLP{{Kind: Cpl, Requester: req.Requester, Tag: req.Tag, Last: true, Txn: req.Txn}}
 	}
 	tlps[len(tlps)-1].Last = true
 	return tlps

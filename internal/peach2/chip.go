@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tca/internal/memory"
+	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/sim"
 	"tca/internal/units"
@@ -40,6 +41,56 @@ type Chip struct {
 	acksSent  uint64
 	acksRecv  uint64
 	intWrites uint64
+
+	// Observability (all handles nil when uninstrumented — every update
+	// below is then a single-branch no-op).
+	rec *obsv.Recorder
+	cm  chipMetrics
+}
+
+// chipMetrics are the chip's registered metric handles.
+type chipMetrics struct {
+	tlpsIn    [4]*obsv.Counter
+	tlpsOut   [numPorts]*obsv.Counter
+	bytesOut  [numPorts]*obsv.Counter
+	converted *obsv.Counter
+	acksSent  *obsv.Counter
+	acksRecv  *obsv.Counter
+	intWrites *obsv.Counter
+	irqs      *obsv.Counter
+	routeMiss *obsv.Counter
+}
+
+// Instrument attaches the chip (and its DMAC) to an observability set:
+// per-port TLP counters, conversion/ack/IRQ counters, DMAC queue and busy
+// metrics, and typed span events for traced transactions.
+func (c *Chip) Instrument(set *obsv.Set) {
+	reg := set.Registry()
+	c.rec = set.Recorder()
+	for p := PortN; p <= PortS; p++ {
+		c.cm.tlpsIn[p] = reg.Counter("port_tlps_in", c.name, obsv.Label{Key: "port", Value: p.String()})
+	}
+	for p := PortN; p < numPorts; p++ {
+		c.cm.tlpsOut[p] = reg.Counter("port_tlps_out", c.name, obsv.Label{Key: "port", Value: p.String()})
+		c.cm.bytesOut[p] = reg.Counter("port_bytes_out", c.name, obsv.Label{Key: "port", Value: p.String()})
+	}
+	c.cm.converted = reg.Counter("addr_conversions", c.name)
+	c.cm.acksSent = reg.Counter("flush_acks_sent", c.name)
+	c.cm.acksRecv = reg.Counter("flush_acks_recv", c.name)
+	c.cm.intWrites = reg.Counter("internal_writes", c.name)
+	c.cm.irqs = reg.Counter("irqs", c.name)
+	c.cm.routeMiss = reg.Counter("route_misses", c.name)
+	c.dmac.instrument(set)
+}
+
+// portIndex maps a physical port back to its ID (for ingress accounting).
+func (c *Chip) portIndex(p *pcie.Port) PortID {
+	for i := PortN; i <= PortS; i++ {
+		if c.ports[i] == p {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("peach2 %s: foreign port %v", c.name, p))
 }
 
 // New creates a chip. The plan is the chip's slice of the sub-cluster
@@ -110,8 +161,10 @@ func (c *Chip) IntMemGlobal(off uint64) pcie.Addr {
 // SetIRQHandler registers the driver's completion interrupt handler.
 func (c *Chip) SetIRQHandler(fn func(now sim.Time)) { c.onIRQ = fn }
 
-// SetTracer installs a packet-event tracer (nil disables). The tcaring tool
-// uses it to display a packet's path through the sub-cluster.
+// SetTracer installs a packet-event tracer (nil disables).
+//
+// Deprecated: the free-form string hook predates the obsv span layer;
+// Instrument records the same path as typed, transaction-scoped events.
 func (c *Chip) SetTracer(fn func(now sim.Time, what string)) { c.tracer = fn }
 
 func (c *Chip) trace(now sim.Time, format string, args ...interface{}) {
@@ -181,6 +234,7 @@ func (c *Chip) route(a pcie.Addr) (PortID, error) {
 			return r.Out, nil
 		}
 	}
+	c.cm.routeMiss.Inc()
 	return 0, fmt.Errorf("peach2 %s: no route for %v", c.name, a)
 }
 
@@ -200,6 +254,13 @@ func (c *Chip) convertN(a pcie.Addr) (pcie.Addr, BlockClass, bool) {
 
 // Accept implements pcie.Device.
 func (c *Chip) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Duration {
+	if c.cm.tlpsIn[PortN] != nil {
+		c.cm.tlpsIn[c.portIndex(in)].Inc()
+	}
+	if c.rec != nil && t.Txn != 0 {
+		c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StagePortIn,
+			Where: c.name, Port: in.Label, Addr: uint64(t.Addr)})
+	}
 	switch t.Kind {
 	case pcie.CplD, pcie.Cpl:
 		// Only the DMAC issues non-posted requests, always through N.
@@ -254,8 +315,20 @@ func (c *Chip) forwardRing(now sim.Time, t *pcie.TLP, out PortID) {
 		panic(fmt.Sprintf("peach2 %s: route to unconnected port %v for %v", c.name, out, t.Addr))
 	}
 	c.forwarded[out]++
-	c.trace(now, "route %v -> port %v", t, out)
+	c.cm.tlpsOut[out].Inc()
+	c.cm.bytesOut[out].Add(uint64(t.WireBytes()))
+	if c.tracer != nil {
+		c.trace(now, "route %v -> port %v", t, out)
+	}
+	if c.rec != nil && t.Txn != 0 {
+		c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageRoute,
+			Where: c.name, Port: out.String(), Addr: uint64(t.Addr)})
+	}
 	c.eng.After(c.params.RouterLatency, func() {
+		if c.rec != nil && t.Txn != 0 {
+			c.rec.Record(obsv.Event{At: c.eng.Now(), Txn: t.Txn, Stage: obsv.StagePortOut,
+				Where: c.name, Port: out.String(), Addr: uint64(t.Addr)})
+		}
 		c.ports[out].Send(c.eng.Now(), t)
 	})
 }
@@ -274,25 +347,47 @@ func (c *Chip) forwardN(now sim.Time, t *pcie.TLP) {
 	out := *t
 	out.Addr = local
 	c.forwarded[PortN]++
+	c.cm.tlpsOut[PortN].Inc()
+	c.cm.bytesOut[PortN].Add(uint64(t.WireBytes()))
 	if conv {
-		c.trace(now, "convert %v -> local %v (%v) -> port N", t.Addr, local, class)
-	} else {
-		c.trace(now, "deliver %v -> port N", t)
+		c.cm.converted.Inc()
+	}
+	if c.tracer != nil {
+		if conv {
+			c.trace(now, "convert %v -> local %v (%v) -> port N", t.Addr, local, class)
+		} else {
+			c.trace(now, "deliver %v -> port N", t)
+		}
+	}
+	if c.rec != nil && t.Txn != 0 {
+		if conv {
+			c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageConvert,
+				Where: c.name, Port: "N", Addr: uint64(local), Note: class.String()})
+		} else {
+			c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageRoute,
+				Where: c.name, Port: "N", Addr: uint64(t.Addr)})
+		}
 	}
 	c.eng.After(lat, func() {
+		if c.rec != nil && t.Txn != 0 {
+			c.rec.Record(obsv.Event{At: c.eng.Now(), Txn: t.Txn, Stage: obsv.StagePortOut,
+				Where: c.name, Port: "N", Addr: uint64(local)})
+		}
 		c.ports[PortN].Send(c.eng.Now(), &out)
 		if t.Flush {
 			delay := units.Duration(0)
 			if class == ClassHost {
 				delay = c.params.DMA.HostFlushDelay
 			}
-			c.eng.After(delay, func() { c.sendFlushAck(t.Requester) })
+			c.eng.After(delay, func() { c.sendFlushAck(t.Requester, t.Txn) })
 		}
 	})
 }
 
-// sendFlushAck writes the source chip's ack word through the ring.
-func (c *Chip) sendFlushAck(req pcie.DeviceID) {
+// sendFlushAck writes the source chip's ack word through the ring. The ack
+// inherits the flushed packet's transaction ID so a traced chain sees its
+// acknowledgement hop.
+func (c *Chip) sendFlushAck(req pcie.DeviceID, txn uint64) {
 	if c.plan.NodeOfRequester == nil || c.plan.AckAddrOf == nil {
 		panic(fmt.Sprintf("peach2 %s: flush ack requested but plan has no requester map", c.name))
 	}
@@ -306,8 +401,10 @@ func (c *Chip) sendFlushAck(req pcie.DeviceID) {
 		Data:      []byte{1, 0, 0, 0, 0, 0, 0, 0},
 		Requester: c.id,
 		Last:      true,
+		Txn:       txn,
 	}
 	c.acksSent++
+	c.cm.acksSent.Inc()
 	dst, err := c.route(ack.Addr)
 	if err != nil {
 		panic(err)
@@ -330,16 +427,22 @@ func (c *Chip) acceptInternalWrite(now sim.Time, t *pcie.TLP) {
 		c.writeRouteRegister(off, t.Data)
 	case off < IntMemOffset:
 		c.acksRecv++
+		c.cm.acksRecv.Inc()
+		if c.rec != nil && t.Txn != 0 {
+			c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageFlushAck,
+				Where: c.name, Addr: uint64(t.Addr)})
+		}
 		c.dmac.handleAck(now)
 	default:
 		c.intWrites++
+		c.cm.intWrites.Inc()
 		if err := c.intMem.Write(off-IntMemOffset, t.Data); err != nil {
 			panic(fmt.Sprintf("peach2 %s: internal write: %v", c.name, err))
 		}
 		if t.Flush {
 			// A flushed chain ending in this chip's buffer drains
 			// here; acknowledge immediately.
-			c.sendFlushAck(t.Requester)
+			c.sendFlushAck(t.Requester, t.Txn)
 		}
 	}
 }
@@ -437,9 +540,15 @@ func (c *Chip) serveInternalRead(now sim.Time, t *pcie.TLP, in *pcie.Port) {
 	})
 }
 
-// raiseIRQ delivers the DMAC completion interrupt to the driver.
-func (c *Chip) raiseIRQ() {
+// raiseIRQ delivers the DMAC completion interrupt to the driver; txn is the
+// completed chain's transaction ID (zero when untraced).
+func (c *Chip) raiseIRQ(txn uint64) {
 	c.eng.After(c.params.DMA.IRQLatency, func() {
+		c.cm.irqs.Inc()
+		if c.rec != nil && txn != 0 {
+			c.rec.Record(obsv.Event{At: c.eng.Now(), Txn: txn, Stage: obsv.StageIRQ,
+				Where: c.name})
+		}
 		if c.onIRQ != nil {
 			c.onIRQ(c.eng.Now())
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/sim"
 	"tca/internal/units"
@@ -138,7 +139,38 @@ type DMAC struct {
 	chains     uint64
 	tlpsIssued uint64
 	readsSent  uint64
+
+	// Observability. txn is the running chain's transaction ID (0 when
+	// untraced); lastTxn survives until the next doorbell so the driver's
+	// IRQ handler can close the span after the chain completed. All metric
+	// handles are nil when uninstrumented.
+	txn        uint64
+	lastTxn    uint64
+	chainStart sim.Time
+	mChains    *obsv.Counter
+	mTLPs      *obsv.Counter
+	mReads     *obsv.Counter
+	mBusyPS    *obsv.Counter
+	mQueue     *obsv.Gauge
+	mChainLat  *obsv.Histogram
 }
+
+// instrument registers the DMAC's metrics under "<chip>/dmac".
+func (d *DMAC) instrument(set *obsv.Set) {
+	reg := set.Registry()
+	name := d.chip.name + "/dmac"
+	d.mChains = reg.Counter("dma_chains", name)
+	d.mTLPs = reg.Counter("dma_write_tlps", name)
+	d.mReads = reg.Counter("dma_reads_sent", name)
+	d.mBusyPS = reg.Counter("dma_busy_ps", name)
+	d.mQueue = reg.Gauge("dma_read_queue_depth", name)
+	d.mChainLat = reg.Histogram("dma_chain_latency", name, nil)
+}
+
+// LastChainTxn reports the transaction ID of the most recently completed
+// chain (0 when untraced) — how the driver's IRQ handler finds the span to
+// close with StageChainDone.
+func (d *DMAC) LastChainTxn() uint64 { return d.lastTxn }
 
 type readReq struct {
 	tlp    *pcie.TLP
@@ -170,6 +202,7 @@ func (d *DMAC) start(now sim.Time, tableAddr pcie.Addr, count int) {
 	}
 	d.resetChain()
 	d.state = dmacFetching
+	d.beginTxn(now, tableAddr)
 	total := units.ByteSize(count) * DescriptorBytes
 	table := make([]byte, total)
 	chunks := pcie.SplitRead(tableAddr, total, d.chip.params.DMA.FetchChunk)
@@ -199,7 +232,19 @@ func (d *DMAC) StartImmediate(now sim.Time, desc Descriptor) {
 	}
 	d.resetChain()
 	d.state = dmacRunning
+	d.beginTxn(now, pcie.Addr(desc.Dst))
 	d.runChain([]Descriptor{desc})
+}
+
+// beginTxn opens a new traced chain: allocates its transaction ID and
+// records the doorbell span event.
+func (d *DMAC) beginTxn(now sim.Time, addr pcie.Addr) {
+	d.chainStart = now
+	d.txn = d.chip.rec.NextTxn()
+	if d.txn != 0 {
+		d.chip.rec.Record(obsv.Event{At: now, Txn: d.txn, Stage: obsv.StageDoorbell,
+			Where: d.chip.name, Addr: uint64(addr)})
+	}
 }
 
 func (d *DMAC) resetChain() {
@@ -222,6 +267,11 @@ func (d *DMAC) parseAndRun(table []byte, count int) {
 			panic(fmt.Sprintf("peach2 %s: descriptor %d: %v", d.chip.name, i, err))
 		}
 		descs = append(descs, desc)
+	}
+	if d.txn != 0 {
+		d.chip.rec.Record(obsv.Event{At: d.chip.eng.Now(), Txn: d.txn,
+			Stage: obsv.StageDMAFetch, Where: d.chip.name,
+			Note: fmt.Sprintf("%d descriptors", count)})
 	}
 	d.state = dmacRunning
 	d.runChain(descs)
@@ -369,6 +419,7 @@ func (d *DMAC) issueWrite(addr pcie.Addr, srcOff uint64, n units.ByteSize, relax
 		d.writeTLPsIssued++
 		d.issuesPending--
 		d.tlpsIssued++
+		d.mTLPs.Inc()
 		final := d.writeTLPsIssued == d.totalWriteTLPs
 		tlp := &pcie.TLP{
 			Kind:      pcie.MWr,
@@ -378,10 +429,24 @@ func (d *DMAC) issueWrite(addr pcie.Addr, srcOff uint64, n units.ByteSize, relax
 			Relaxed:   relaxed,
 			Last:      final,
 			Flush:     final && d.waitAck,
+			Txn:       d.txn,
 		}
+		d.recordIssue(tlp, final)
 		d.sendFromDMAC(tlp)
 		d.maybeComplete()
 	})
+}
+
+// recordIssue spans the final write TLP of a traced chain — the one whose
+// delivery the completion protocol tracks. Per-TLP issue events would flood
+// the ring for large chains without sharpening the breakdown.
+func (d *DMAC) recordIssue(t *pcie.TLP, final bool) {
+	if d.txn == 0 || !final {
+		return
+	}
+	d.chip.rec.Record(obsv.Event{At: d.chip.eng.Now(), Txn: d.txn,
+		Stage: obsv.StageDMAIssue, Where: d.chip.name, Addr: uint64(t.Addr),
+		Note: fmt.Sprintf("tlp %d/%d", d.writeTLPsIssued, d.totalWriteTLPs)})
 }
 
 // issueWriteData is issueWrite for payloads already in hand (the pipelined
@@ -394,6 +459,7 @@ func (d *DMAC) issueWriteData(addr pcie.Addr, data []byte, relaxed bool) {
 		d.writeTLPsIssued++
 		d.issuesPending--
 		d.tlpsIssued++
+		d.mTLPs.Inc()
 		final := d.writeTLPsIssued == d.totalWriteTLPs
 		tlp := &pcie.TLP{
 			Kind:      pcie.MWr,
@@ -403,7 +469,9 @@ func (d *DMAC) issueWriteData(addr pcie.Addr, data []byte, relaxed bool) {
 			Relaxed:   relaxed,
 			Last:      final,
 			Flush:     final && d.waitAck,
+			Txn:       d.txn,
 		}
+		d.recordIssue(tlp, final)
 		d.sendFromDMAC(tlp)
 		d.maybeComplete()
 	})
@@ -423,12 +491,17 @@ func (d *DMAC) sendFromDMAC(t *pcie.TLP) {
 		local, _, conv := d.chip.convertN(t.Addr)
 		if conv {
 			d.chip.converted++
+			d.chip.cm.converted.Inc()
 		}
 		c := *t
 		c.Addr = local
+		d.chip.cm.tlpsOut[PortN].Inc()
+		d.chip.cm.bytesOut[PortN].Add(uint64(c.WireBytes()))
 		d.chip.ports[PortN].Send(d.chip.eng.Now(), &c)
 	default:
 		d.chip.forwarded[out]++
+		d.chip.cm.tlpsOut[out].Inc()
+		d.chip.cm.bytesOut[out].Add(uint64(t.WireBytes()))
 		d.chip.ports[out].Send(d.chip.eng.Now(), t)
 	}
 }
@@ -465,6 +538,7 @@ func (d *DMAC) generatePipelined(desc Descriptor, maxPayload units.ByteSize) {
 // enqueueRead queues a read request; pumpReads issues as tags free up.
 func (d *DMAC) enqueueRead(tlp *pcie.TLP, onData func([]byte)) {
 	d.readQueue = append(d.readQueue, readReq{tlp: tlp, onData: onData})
+	d.mQueue.Set(int64(len(d.readQueue)))
 }
 
 // pumpReads issues queued reads while tags are available. Reads verify that
@@ -491,11 +565,14 @@ func (d *DMAC) pumpReads() {
 		}
 		copy(d.readQueue, d.readQueue[1:])
 		d.readQueue = d.readQueue[:len(d.readQueue)-1]
+		d.mQueue.Set(int64(len(d.readQueue)))
 		d.readsPending++
 		d.readsSent++
+		d.mReads.Inc()
 		mrd := *req.tlp
 		mrd.Tag = tag
 		mrd.Requester = d.chip.id
+		mrd.Txn = d.txn
 		slot := d.readIssue.Reserve(d.chip.eng.Now(), d.chip.params.DMA.IssueInterval)
 		d.chip.eng.At(slot.Add(d.chip.params.DMA.IssueInterval), func() {
 			d.chip.ports[PortN].Send(d.chip.eng.Now(), &mrd)
@@ -533,7 +610,13 @@ func (d *DMAC) maybeComplete() {
 	}
 	d.state = dmacIdle
 	d.chains++
-	d.chip.raiseIRQ()
+	d.mChains.Inc()
+	busy := d.chip.eng.Now().Sub(d.chainStart)
+	d.mBusyPS.Add(uint64(busy))
+	d.mChainLat.Observe(busy)
+	d.lastTxn = d.txn
+	d.txn = 0
+	d.chip.raiseIRQ(d.lastTxn)
 }
 
 // ChainsCompleted reports how many chains have finished.

@@ -16,6 +16,10 @@ type Summary struct {
 	Mean   float64
 	Median float64
 	StdDev float64
+	// P95 and P99 are nearest-rank percentiles — the tail-latency view the
+	// latency-distribution benchmarks report alongside the mean.
+	P95 float64
+	P99 float64
 }
 
 // Summarize computes a Summary. It panics on an empty sample — callers
@@ -52,13 +56,29 @@ func Summarize(xs []float64) Summary {
 	} else {
 		s.Median = (sorted[mid-1] + sorted[mid]) / 2
 	}
+	s.P95 = percentile(sorted, 95)
+	s.P99 = percentile(sorted, 99)
 	return s
+}
+
+// percentile returns the nearest-rank p-th percentile of an ascending
+// sample: the smallest element with at least p% of the sample at or below
+// it. For small samples this degrades gracefully to the maximum.
+func percentile(sorted []float64, p float64) float64 {
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // String formats the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d min=%.4g max=%.4g mean=%.4g median=%.4g sd=%.4g",
-		s.N, s.Min, s.Max, s.Mean, s.Median, s.StdDev)
+	return fmt.Sprintf("n=%d min=%.4g max=%.4g mean=%.4g median=%.4g p95=%.4g p99=%.4g sd=%.4g",
+		s.N, s.Min, s.Max, s.Mean, s.Median, s.P95, s.P99, s.StdDev)
 }
 
 // RelativeError reports |got-want|/|want|.

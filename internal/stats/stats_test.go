@@ -80,6 +80,23 @@ func TestQuickSummaryOrdering(t *testing.T) {
 	}
 }
 
+func TestSummarizePercentiles(t *testing.T) {
+	// 1..100: nearest-rank p95 is the 95th element, p99 the 99th.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.P95 != 95 || s.P99 != 99 {
+		t.Fatalf("p95=%v p99=%v, want 95/99", s.P95, s.P99)
+	}
+	// Small samples degrade to the max, never past it.
+	s = Summarize([]float64{3, 1, 2})
+	if s.P95 != 3 || s.P99 != 3 {
+		t.Fatalf("small-sample p95=%v p99=%v, want 3/3", s.P95, s.P99)
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	got := Summarize([]float64{1, 2}).String()
 	if got == "" {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tca/internal/host"
+	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/peach2"
 	"tca/internal/sim"
@@ -49,6 +50,40 @@ type SubCluster struct {
 	prm   Params
 	nodes []*host.Node
 	chips []*peach2.Chip
+	obs   *obsv.Set
+}
+
+// Instrument attaches the whole sub-cluster to an observability set: every
+// node, every chip (and DMAC), the Port-N host links, and the E/W/S ring
+// links. Safe to call once after construction; the set is retained for
+// Observability().
+func (sc *SubCluster) Instrument(set *obsv.Set) {
+	sc.obs = set
+	for _, n := range sc.nodes {
+		n.Instrument(set)
+	}
+	instrumentChips(set, sc.chips...)
+}
+
+// Observability returns the attached set, or nil when uninstrumented.
+func (sc *SubCluster) Observability() *obsv.Set { return sc.obs }
+
+// instrumentChips wires chips and their connected links into a set, naming
+// each link after the first chip-side port that reaches it
+// ("link:peach2-0.E").
+func instrumentChips(set *obsv.Set, chips ...*peach2.Chip) {
+	seen := make(map[*pcie.Link]bool)
+	for _, c := range chips {
+		c.Instrument(set)
+		for _, id := range []peach2.PortID{peach2.PortN, peach2.PortE, peach2.PortW, peach2.PortS} {
+			p := c.Port(id)
+			if !p.Connected() || seen[p.Link()] {
+				continue
+			}
+			seen[p.Link()] = true
+			p.Link().Instrument(set, fmt.Sprintf("link:%s.%s", c.DevName(), p.Label))
+		}
+	}
 }
 
 // BuildRing constructs an n-node sub-cluster with Ports E and W forming a
@@ -259,6 +294,13 @@ type Loopback struct {
 	ChipA *peach2.Chip
 	ChipB *peach2.Chip
 	Plan  Plan
+}
+
+// Instrument attaches the loopback rig — its node, both chips, and all
+// links — to an observability set.
+func (lb *Loopback) Instrument(set *obsv.Set) {
+	lb.Node.Instrument(set)
+	instrumentChips(set, lb.ChipA, lb.ChipB)
 }
 
 // BuildLoopback assembles the rig.

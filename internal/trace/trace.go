@@ -1,7 +1,11 @@
 // Package trace provides a bounded in-memory event log the hardware models
 // can emit packet-level events into — what a logic analyzer on the PEACH2
-// board would show. The tcaring tool uses it to display a packet's path
-// through the sub-cluster.
+// board would show.
+//
+// Deprecated: superseded by package obsv, whose typed span events carry
+// transaction IDs end to end and reconstruct per-hop latency breakdowns
+// (see tcatrace). This stringly-typed ring remains only for the legacy
+// Chip.SetTracer hook; new instrumentation should use obsv.Recorder.
 package trace
 
 import (
