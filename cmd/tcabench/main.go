@@ -6,6 +6,8 @@
 //	tcabench -exp fig12 -csv     # machine-readable output
 //	tcabench -exp all -check     # also apply the shape checks
 //	tcabench -metrics table      # dump an instrumented run's metrics snapshot
+//	tcabench -bench-json BENCH_PR2.json   # write the headline-number baseline
+//	tcabench -perfetto trace.json         # spans + telemetry counters for ui.perfetto.dev
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"tca/internal/bench"
+	"tca/internal/obsv"
 	"tca/internal/tcanet"
 	"tca/internal/units"
 )
@@ -34,8 +37,47 @@ func main() {
 		cable    = flag.Duration("cable", 0, "override the external-cable latency (e.g. 150ns)")
 		parallel = flag.Bool("parallel", false, "run experiments concurrently (identical results; each owns its engine)")
 		metrics  = flag.String("metrics", "", "run an instrumented demo workload and dump its metrics snapshot (table | json | prom)")
+		benchOut = flag.String("bench-json", "", "measure the headline figures and write the JSON baseline to this path")
+		perfetto = flag.String("perfetto", "", "run the sampled forward-DMA demo and write a Chrome trace_event file to this path")
 	)
 	flag.Parse()
+
+	if *benchOut != "" {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcabench:", err)
+			os.Exit(1)
+		}
+		werr := bench.CollectBaseline(tcanet.DefaultParams).WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "tcabench:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline written: %s\n", *benchOut)
+		return
+	}
+
+	if *perfetto != "" {
+		res := bench.TelemetryForward(tcanet.DefaultParams, 4, 0, 2, 4096, 64, units.Microsecond)
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcabench:", err)
+			os.Exit(1)
+		}
+		werr := obsv.WritePerfetto(f, res.Set.Recorder().Events(), res.Timeline)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "tcabench:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("scenario: %s\nperfetto trace: %s (open in ui.perfetto.dev)\n", res.Scenario, *perfetto)
+		return
+	}
 
 	if *metrics != "" {
 		snap := bench.MetricsReport(tcanet.DefaultParams)

@@ -6,6 +6,7 @@
 //	tcatrace -scenario pingpong -nodes 4 -src 0 -dst 2
 //	tcatrace -scenario forward -nodes 8 -dst 3 -events
 //	tcatrace -scenario dma -size 4096 -count 8 -metrics json
+//	tcatrace -scenario pingpong -perfetto trace.json   # open in ui.perfetto.dev
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		count    = flag.Int("count", 8, "DMA descriptor count (dma)")
 		metrics  = flag.String("metrics", "table", "metrics snapshot format: table | json | prom | none")
 		events   = flag.Bool("events", false, "also dump each span's raw events")
+		perfetto = flag.String("perfetto", "", "write the spans as a Chrome trace_event file to this path")
 	)
 	flag.Parse()
 
@@ -73,6 +75,23 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("end-to-end: %v\n", tr.EndToEnd)
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcatrace:", err)
+			os.Exit(1)
+		}
+		werr := obsv.WritePerfetto(f, tr.Set.Recorder().Events(), nil)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "tcatrace:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("perfetto trace: %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
 
 	switch *metrics {
 	case "none":

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tca/internal/core"
+	"tca/internal/tcanet"
+)
+
+// BenchBaselineSchema versions the BENCH_*.json layout.
+const BenchBaselineSchema = "tca-bench-baseline/1"
+
+// BenchBaseline is the machine-readable capture of the paper's headline numbers
+// — the figures every regression run is compared against. All values come
+// from the deterministic simulation, so committed baselines reproduce
+// bit-for-bit until the model deliberately changes.
+type BenchBaseline struct {
+	Schema string `json:"schema"`
+	// Fig. 7: chained-DMA bandwidth ceiling (255×4 KiB write) and the
+	// GPU-read ceiling.
+	PeakWriteGBps float64 `json:"fig7_peak_write_gbps"`
+	GPUReadGBps   float64 `json:"fig7_gpu_read_gbps"`
+	// Fig. 8/9: single-descriptor and 4-burst 4 KiB bandwidth.
+	SingleDMAGBps float64 `json:"fig8_single_dma_4k_gbps"`
+	Burst4GBps    float64 `json:"fig9_burst4_4k_gbps"`
+	// Fig. 10: minimum ping-pong latency (loopback PIO) and the marginal
+	// cost of one forwarding hop on the ring.
+	MinPingPongUS float64 `json:"fig10_min_pingpong_us"`
+	PerHopNS      float64 `json:"fig10_per_hop_ns"`
+	// Baseline table: 8-byte GPU-to-GPU put, TCA pipelined vs conventional
+	// (cudaMemcpy + MPI/IB).
+	TCAGPU8BUS  float64 `json:"tca_gpu_8b_us"`
+	ConvGPU8BUS float64 `json:"conventional_gpu_8b_us"`
+}
+
+// CollectBaseline measures every baseline figure with the given parameters.
+func CollectBaseline(prm tcanet.Params) BenchBaseline {
+	round := func(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
+	hop := MeasurePIOLatency(prm, 4, 0, 2).Nanoseconds() - MeasurePIOLatency(prm, 4, 0, 1).Nanoseconds()
+	return BenchBaseline{
+		Schema:        BenchBaselineSchema,
+		PeakWriteGBps: round(MeasureChain(prm, DirWrite, TargetCPU, false, 4096, 255).GBps()),
+		GPUReadGBps:   round(MeasureChain(prm, DirRead, TargetGPU, false, 4096, 255).GBps()),
+		SingleDMAGBps: round(MeasureChain(prm, DirWrite, TargetCPU, false, 4096, 1).GBps()),
+		Burst4GBps:    round(MeasureChain(prm, DirWrite, TargetCPU, false, 4096, 4).GBps()),
+		MinPingPongUS: round(MeasureLoopbackPIO(prm).Microseconds()),
+		PerHopNS:      round(hop),
+		TCAGPU8BUS:    round(MeasureTCAGPU(prm, core.Pipelined, 8).Microseconds()),
+		ConvGPU8BUS:   round(MeasureConventionalGPU(prm, 8).Microseconds()),
+	}
+}
+
+// WriteJSON emits the baseline as indented JSON.
+func (b BenchBaseline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Compare checks every figure of got against the committed baseline within
+// tolerance (a fraction, e.g. 0.02 for ±2%) and returns one error line per
+// drifted figure.
+func (b BenchBaseline) Compare(got BenchBaseline, tolerance float64) []string {
+	var drifts []string
+	check := func(name string, want, have float64) {
+		if want == 0 {
+			if have != 0 {
+				drifts = append(drifts, fmt.Sprintf("%s: baseline 0, got %g", name, have))
+			}
+			return
+		}
+		if rel := (have - want) / want; rel > tolerance || rel < -tolerance {
+			drifts = append(drifts, fmt.Sprintf("%s: baseline %g, got %g (%+.2f%%)", name, want, have, 100*rel))
+		}
+	}
+	check("fig7_peak_write_gbps", b.PeakWriteGBps, got.PeakWriteGBps)
+	check("fig7_gpu_read_gbps", b.GPUReadGBps, got.GPUReadGBps)
+	check("fig8_single_dma_4k_gbps", b.SingleDMAGBps, got.SingleDMAGBps)
+	check("fig9_burst4_4k_gbps", b.Burst4GBps, got.Burst4GBps)
+	check("fig10_min_pingpong_us", b.MinPingPongUS, got.MinPingPongUS)
+	check("fig10_per_hop_ns", b.PerHopNS, got.PerHopNS)
+	check("tca_gpu_8b_us", b.TCAGPU8BUS, got.TCAGPU8BUS)
+	check("conventional_gpu_8b_us", b.ConvGPU8BUS, got.ConvGPU8BUS)
+	return drifts
+}

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"tca/internal/tcanet"
+)
+
+// TestBenchBaselineRegression re-measures every headline figure and fails
+// on >2% drift from the committed BENCH_PR2.json. Regenerate the file with
+// `tcabench -bench-json BENCH_PR2.json` when a model change is deliberate.
+func TestBenchBaselineRegression(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_PR2.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var want BenchBaseline
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("BENCH_PR2.json: %v", err)
+	}
+	if want.Schema != BenchBaselineSchema {
+		t.Fatalf("baseline schema %q, this tree speaks %q", want.Schema, BenchBaselineSchema)
+	}
+	got := CollectBaseline(tcanet.DefaultParams)
+	for _, d := range want.Compare(got, 0.02) {
+		t.Error(d)
+	}
+}

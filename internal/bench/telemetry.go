@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"tca/internal/core"
+	"tca/internal/obsv"
+	"tca/internal/pcie"
+	"tca/internal/sim"
+	"tca/internal/tcanet"
+	"tca/internal/units"
+)
+
+// TelemetryResult is one sampled scenario's outcome: the time-series
+// timeline, the metrics snapshot at completion, and the bottleneck
+// attribution derived from both.
+type TelemetryResult struct {
+	Scenario string
+	Set      *obsv.Set
+	Timeline *obsv.Timeline
+	Snapshot *obsv.Snapshot
+	Report   *obsv.Report
+	// Elapsed is the scenario's end-to-end sim time; Moved is the payload
+	// it carried (0 for latency-only scenarios).
+	Elapsed units.Duration
+	Moved   units.ByteSize
+}
+
+// TelemetryForward streams a count-descriptor chain of size-byte remote DMA
+// writes from node src's internal memory into node dst's host memory across
+// an n-node ring, sampling the fabric every interval. A long chain keeps
+// the egress ring link busy back-to-back, so this is the canonical
+// link-bound scenario: attribution names the saturated link while the
+// destination chip's DMAC sits idle (the Fig. 10 forwarding setup driven at
+// full rate).
+func TelemetryForward(prm tcanet.Params, n, src, dst int, size units.ByteSize, count int, interval units.Duration) *TelemetryResult {
+	eng, sc, set := instrumentedRing(n, prm)
+	comm, err := core.NewComm(sc)
+	if err != nil {
+		panic(err)
+	}
+	if err := sc.Chip(src).InternalMemory().Write(0, make([]byte, size)); err != nil {
+		panic(err)
+	}
+	total := units.ByteSize(uint64(size) * uint64(count))
+	buf, err := sc.Node(dst).AllocDMABuffer(total)
+	if err != nil {
+		panic(err)
+	}
+	g, err := sc.GlobalHostAddr(dst, buf)
+	if err != nil {
+		panic(err)
+	}
+	var doneAt sim.Time
+	if err := comm.StartChain(src, buildWriteChain(uint64(g), size, count), func(now sim.Time) { doneAt = now }); err != nil {
+		panic(err)
+	}
+	sc.StartTelemetry(interval)
+	eng.Run()
+	if doneAt == 0 {
+		panic("bench: telemetry forward chain never completed")
+	}
+	tl := set.Sampler().Timeline()
+	snap := set.Registry().Snapshot(eng.Now())
+	return &TelemetryResult{
+		Scenario: fmt.Sprintf("forward DMA %d×%v node%d->node%d (%d-node ring), sampled every %v", count, size, src, dst, n, interval),
+		Set:      set,
+		Timeline: tl,
+		Snapshot: snap,
+		Report:   obsv.Attribute(snap, tl),
+		Elapsed:  units.Duration(doneAt),
+		Moved:    total,
+	}
+}
+
+// TelemetryPingPong runs rounds of the §IV-B1 PIO flag ping-pong between
+// src and dst on an n-node ring under sampling. Ping-pong is latency-bound
+// with one 8-byte store in flight at a time, so every resource idles —
+// attribution's "underutilized" verdict, the contrast case to
+// TelemetryForward.
+func TelemetryPingPong(prm tcanet.Params, n, src, dst, rounds int, interval units.Duration) *TelemetryResult {
+	if rounds < 1 {
+		panic("bench: telemetry ping-pong needs at least one round")
+	}
+	eng, sc, set := instrumentedRing(n, prm)
+	srcBuf, srcG := flagTarget(sc, src)
+	dstBuf, dstG := flagTarget(sc, dst)
+	ping := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	pong := []byte{2, 0, 0, 0, 0, 0, 0, 0}
+	var lastAt sim.Time
+	done := 0
+	sc.Node(dst).Poll(pcie.Range{Base: dstBuf, Size: 8}, func(now sim.Time) {
+		sc.Node(dst).Store(srcG, pong)
+	})
+	sc.Node(src).Poll(pcie.Range{Base: srcBuf, Size: 8}, func(now sim.Time) {
+		lastAt = now
+		done++
+		if done < rounds {
+			sc.Node(src).Store(dstG, ping)
+		}
+	})
+	sc.StartTelemetry(interval)
+	sc.Node(src).Store(dstG, ping)
+	eng.Run()
+	if done != rounds {
+		panic(fmt.Sprintf("bench: %d/%d ping-pong rounds completed", done, rounds))
+	}
+	tl := set.Sampler().Timeline()
+	snap := set.Registry().Snapshot(eng.Now())
+	return &TelemetryResult{
+		Scenario: fmt.Sprintf("PIO ping-pong ×%d node%d<->node%d (%d-node ring), sampled every %v", rounds, src, dst, n, interval),
+		Set:      set,
+		Timeline: tl,
+		Snapshot: snap,
+		Report:   obsv.Attribute(snap, tl),
+		Elapsed:  units.Duration(lastAt),
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tca/internal/core"
+	"tca/internal/obsv"
+	"tca/internal/sim"
+	"tca/internal/tcanet"
+	"tca/internal/units"
+)
+
+// TestTelemetryForwardAttribution drives the canonical link-bound scenario
+// — a 255×4 KiB chain node0→node2 across a 4-node ring — and checks that
+// attribution names the source chip's egress ring link as saturated.
+func TestTelemetryForwardAttribution(t *testing.T) {
+	res := TelemetryForward(tcanet.DefaultParams, 4, 0, 2, 4096, 255, units.Microsecond)
+	rep := res.Report
+	if rep == nil || rep.Primary.Verdict != obsv.VerdictLinkBound {
+		t.Fatalf("verdict = %+v, want link-bound", rep)
+	}
+	// Both ring hops on the node0→node2 arc (peach2-0.E and peach2-1.E)
+	// carry every TLP and saturate together; attribution may name either.
+	if !strings.Contains(rep.Primary.Resource, "link:peach2-0.E") &&
+		!strings.Contains(rep.Primary.Resource, "link:peach2-1.E") {
+		t.Errorf("resource = %q, want a ring link on the node0->node2 arc", rep.Primary.Resource)
+	}
+	var util float64
+	for _, ev := range rep.Primary.Evidence {
+		if strings.HasPrefix(ev.Series, "link_util") && ev.Stat == "active-mean" {
+			util = ev.Value
+		}
+	}
+	if util < 90 {
+		t.Errorf("saturated link active-mean utilization = %.1f%%, want >= 90%%", util)
+	}
+	if res.Timeline.Find("link_util", "link:peach2-0.E", "ab") == nil {
+		t.Error("timeline is missing the link_util series for the saturated link")
+	}
+	// The destination chip's DMAC never runs — the downstream-idle half of
+	// the link-bound evidence.
+	if s := res.Timeline.Find("dma_busy", "peach2-2/dmac", ""); s == nil || s.ActiveMean() != 0 {
+		t.Errorf("destination DMAC should idle, series = %v", s)
+	}
+}
+
+// TestTelemetryPingPongUnderutilized checks the contrast case: one 8-byte
+// flag in flight at a time saturates nothing.
+func TestTelemetryPingPongUnderutilized(t *testing.T) {
+	res := TelemetryPingPong(tcanet.DefaultParams, 4, 0, 2, 20, units.Microsecond)
+	if v := res.Report.Primary.Verdict; v != obsv.VerdictUnderutilized {
+		t.Fatalf("verdict = %v, want underutilized", v)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("ping-pong recorded no elapsed time")
+	}
+}
+
+// TestForwardPerfettoTraceValid exports the trace tcabench -perfetto
+// writes and validates it against the Chrome trace_event schema: a
+// traceEvents array with duration slices for the DMA span, counter samples
+// for the telemetry series, and nothing malformed.
+func TestForwardPerfettoTraceValid(t *testing.T) {
+	res := TelemetryForward(tcanet.DefaultParams, 4, 0, 2, 4096, 16, units.Microsecond)
+	var buf bytes.Buffer
+	if err := obsv.WritePerfetto(&buf, res.Set.Recorder().Events(), res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	var slices, counters int
+	for i, ev := range file.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if name, _ := ev["name"].(string); name == "" || ph == "" {
+			t.Fatalf("event %d missing name/ph: %v", i, ev)
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event %d missing numeric ts: %v", i, ev)
+		}
+		switch ph {
+		case "X":
+			slices++
+			if d, _ := ev["dur"].(float64); d <= 0 {
+				t.Errorf("X slice with non-positive dur: %v", ev)
+			}
+		case "C":
+			counters++
+		}
+	}
+	if slices == 0 {
+		t.Error("trace has no duration slices — the DMA span is missing")
+	}
+	if counters == 0 {
+		t.Error("trace has no counter events — the telemetry series are missing")
+	}
+}
+
+// TestTelemetryDoesNotPerturbTiming reruns the forward scenario with no
+// instrumentation and no sampler and requires the identical completion
+// time — probes observe, they never reserve.
+func TestTelemetryDoesNotPerturbTiming(t *testing.T) {
+	const size, count = 4096, 64
+	res := TelemetryForward(tcanet.DefaultParams, 4, 0, 2, size, count, units.Microsecond)
+
+	eng := sim.NewEngine()
+	sc, err := tcanet.BuildRing(eng, 4, tcanet.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := core.NewComm(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Chip(0).InternalMemory().Write(0, make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := sc.Node(2).AllocDMABuffer(size * count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sc.GlobalHostAddr(2, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	if err := comm.StartChain(0, buildWriteChain(uint64(g), size, count), func(now sim.Time) { doneAt = now }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if units.Duration(doneAt) != res.Elapsed {
+		t.Errorf("instrumented run finished at %v, bare run at %v — telemetry perturbed the simulation",
+			res.Elapsed, units.Duration(doneAt))
+	}
+}

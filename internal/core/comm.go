@@ -96,6 +96,14 @@ func NewComm(sc *tcanet.SubCluster) (*Comm, error) {
 		d.rec = obs.Recorder()
 		d.mChains = obs.Registry().Counter("driver_chains", comp)
 		d.mPuts = obs.Registry().Counter("driver_pio_puts", comp)
+		obs.Sampler().Register("driver_chain_queue", comp, "", "chains",
+			func(sim.Time, units.Duration) float64 {
+				q := len(d.queue)
+				if d.busy {
+					q++
+				}
+				return float64(q)
+			})
 		d.chip.SetIRQHandler(d.onIRQ)
 		c.drv = append(c.drv, d)
 	}

@@ -29,6 +29,9 @@ type RootComplex struct {
 	dramWrites uint64
 	dramReads  uint64
 	qpiForward uint64
+	// outstanding counts device reads accepted but not yet answered with
+	// completions — the host-side view of the requester's tag occupancy.
+	outstanding int
 
 	// Observability (nil when disabled).
 	rec         *obsv.Recorder
@@ -51,6 +54,8 @@ func (rc *RootComplex) instrument(set *obsv.Set) {
 	rc.mDRAMWrites = reg.Counter("dram_write_tlps", rc.DevName())
 	rc.mDRAMReads = reg.Counter("dram_read_tlps", rc.DevName())
 	rc.mQPI = reg.Counter("qpi_forwards", rc.DevName())
+	set.Sampler().Register("rc_outstanding_reads", rc.DevName(), "", "reads",
+		func(sim.Time, units.Duration) float64 { return float64(rc.outstanding) })
 }
 
 func newRootComplex(n *Node) *RootComplex {
@@ -157,6 +162,7 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 				rc.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageHostRead,
 					Where: rc.DevName(), Addr: uint64(t.Addr)})
 			}
+			rc.outstanding++
 			req := *t
 			reply := now.Add(rc.node.params.DRAMReadLatency)
 			rc.node.eng.At(reply, func() {
@@ -168,6 +174,7 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 				for _, c := range pcie.SplitCompletion(&req, data, maxPayload) {
 					in.Send(rc.node.eng.Now(), c)
 				}
+				rc.outstanding--
 			})
 			return 0
 		}

@@ -18,24 +18,33 @@
 //     latency Histograms in a Registry; Snapshot freezes all values at any
 //     sim time and exports as JSON, Prometheus text exposition, or an
 //     aligned human table.
+//   - Telemetry: a Sampler ticks every configurable sim-interval and
+//     appends per-link utilization and queue occupancy, per-DMAC busy
+//     fraction, per-port byte rates, and outstanding-read levels into
+//     bounded ring Series; Attribute turns the series into a bottleneck
+//     verdict with evidence rows, and WritePerfetto renders spans plus
+//     series as a Chrome trace_event file ui.perfetto.dev opens directly.
 //
 // Everything is zero-cost when disabled: all record/update methods are
 // nil-receiver-safe no-ops, so uninstrumented hot loops pay one branch and
 // allocate nothing.
 package obsv
 
-// Set bundles the two halves of the observability layer. Components accept
-// a *Set and pull the handles they need; a nil *Set (or nil fields) means
-// "disabled" everywhere.
+// Set bundles the three legs of the observability layer: metrics, spans,
+// and sampled time-series telemetry. Components accept a *Set and pull the
+// handles they need; a nil *Set (or nil fields) means "disabled"
+// everywhere.
 type Set struct {
 	Reg *Registry
 	Rec *Recorder
+	Sam *Sampler
 }
 
 // NewSet creates an enabled observability set whose span recorder retains
-// up to spanCap events.
+// up to spanCap events and whose telemetry series hold DefaultSeriesCap
+// samples each.
 func NewSet(spanCap int) *Set {
-	return &Set{Reg: NewRegistry(), Rec: NewRecorder(spanCap)}
+	return &Set{Reg: NewRegistry(), Rec: NewRecorder(spanCap), Sam: NewSampler(DefaultSeriesCap)}
 }
 
 // Registry returns the metrics registry, or nil when disabled.
@@ -52,4 +61,12 @@ func (s *Set) Recorder() *Recorder {
 		return nil
 	}
 	return s.Rec
+}
+
+// Sampler returns the telemetry sampler, or nil when disabled.
+func (s *Set) Sampler() *Sampler {
+	if s == nil {
+		return nil
+	}
+	return s.Sam
 }

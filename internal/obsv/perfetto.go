@@ -1,0 +1,173 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace_event export (the JSON format ui.perfetto.dev and
+// chrome://tracing load). Span events render as "X" complete slices on one
+// thread track per component, chained across components by "s"/"f" flow
+// arrows per transaction; time series render as "C" counter tracks.
+//
+// Timestamps convert from integer picoseconds to the format's microsecond
+// floats; displayTimeUnit "ns" keeps sub-microsecond hops readable.
+
+// TraceEvent is one Chrome trace_event entry.
+type TraceEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid,omitempty"`
+	ID   string                 `json:"id,omitempty"`
+	BP   string                 `json:"bp,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// perfettoFile is the top-level JSON object.
+type perfettoFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Track process IDs: spans on one "fabric" process, counters on a
+// "telemetry" process, so Perfetto groups them separately.
+const (
+	perfettoSpanPID    = 1
+	perfettoCounterPID = 2
+)
+
+func psToUS(ps int64) float64 { return float64(ps) / 1e6 }
+
+// PerfettoEvents builds the trace_event list from recorded span events and
+// an optional timeline. Component thread tracks are numbered in order of
+// first appearance, so output is deterministic for a deterministic run.
+func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
+	var out []TraceEvent
+	out = append(out, TraceEvent{
+		Name: "process_name", Ph: "M", PID: perfettoSpanPID,
+		Args: map[string]interface{}{"name": "fabric"},
+	})
+
+	// Assign thread IDs per component in first-appearance order.
+	tids := map[string]int{}
+	tidOf := func(where string) int {
+		if id, ok := tids[where]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[where] = id
+		return id
+	}
+	// Group events by transaction, preserving first-appearance order.
+	order := []uint64{}
+	byTxn := map[uint64][]Event{}
+	for _, ev := range events {
+		if _, ok := byTxn[ev.Txn]; !ok {
+			order = append(order, ev.Txn)
+		}
+		byTxn[ev.Txn] = append(byTxn[ev.Txn], ev)
+		tidOf(ev.Where)
+	}
+	// Thread metadata before the slices.
+	names := make([]string, 0, len(tids))
+	for w := range tids {
+		names = append(names, w)
+	}
+	sort.Slice(names, func(i, j int) bool { return tids[names[i]] < tids[names[j]] })
+	for _, w := range names {
+		out = append(out, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: perfettoSpanPID, TID: tids[w],
+			Args: map[string]interface{}{"name": w},
+		})
+	}
+
+	for _, txn := range order {
+		hops := Breakdown(byTxn[txn])
+		id := "txn" + strconv.FormatUint(txn, 10)
+		if len(hops) == 0 {
+			// A single-event transaction still shows up as an instant.
+			for _, e := range byTxn[txn] {
+				out = append(out, TraceEvent{Name: e.Stage.String(), Cat: "hop", Ph: "i",
+					TS: psToUS(int64(e.At)), PID: perfettoSpanPID, TID: tidOf(e.Where),
+					Args: map[string]interface{}{"txn": txn}})
+			}
+			continue
+		}
+		for i, h := range hops {
+			ev := TraceEvent{
+				Name: h.To.Stage.String(),
+				Cat:  "hop",
+				Ph:   "X",
+				TS:   psToUS(int64(h.From.At)),
+				Dur:  psToUS(int64(h.Dur)),
+				PID:  perfettoSpanPID,
+				TID:  tidOf(h.To.Where),
+				Args: map[string]interface{}{
+					"txn":  txn,
+					"from": h.From.Stage.String() + "@" + h.From.Where,
+					"to":   h.To.Stage.String() + "@" + h.To.Where,
+				},
+			}
+			if h.To.Port != "" {
+				ev.Args["port"] = h.To.Port
+			}
+			if h.To.Note != "" {
+				ev.Args["note"] = h.To.Note
+			}
+			if ev.Dur == 0 {
+				// trace_event treats a missing dur as malformed for "X";
+				// give instantaneous hops a visible sliver.
+				ev.Dur = 0.0001
+			}
+			out = append(out, ev)
+			// Flow arrows stitch the transaction across thread tracks.
+			switch {
+			case len(hops) == 1:
+			case i == 0:
+				out = append(out, TraceEvent{Name: id, Cat: "txn", Ph: "s", ID: id,
+					TS: ev.TS, PID: perfettoSpanPID, TID: ev.TID})
+			case i == len(hops)-1:
+				out = append(out, TraceEvent{Name: id, Cat: "txn", Ph: "f", BP: "e", ID: id,
+					TS: ev.TS, PID: perfettoSpanPID, TID: ev.TID})
+			default:
+				out = append(out, TraceEvent{Name: id, Cat: "txn", Ph: "t", ID: id,
+					TS: ev.TS, PID: perfettoSpanPID, TID: ev.TID})
+			}
+		}
+	}
+
+	if tl != nil {
+		out = append(out, TraceEvent{
+			Name: "process_name", Ph: "M", PID: perfettoCounterPID,
+			Args: map[string]interface{}{"name": "telemetry"},
+		})
+		for _, s := range tl.Series() {
+			name := s.ID() + " (" + s.Unit + ")"
+			for _, sm := range s.Samples() {
+				out = append(out, TraceEvent{
+					Name: name, Cat: "telemetry", Ph: "C",
+					TS: psToUS(int64(sm.At)), PID: perfettoCounterPID,
+					Args: map[string]interface{}{"value": sm.V},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WritePerfetto writes the Chrome trace_event JSON for the given span
+// events and optional timeline — the file ui.perfetto.dev opens directly.
+func WritePerfetto(w io.Writer, events []Event, tl *Timeline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(perfettoFile{
+		TraceEvents:     PerfettoEvents(events, tl),
+		DisplayTimeUnit: "ns",
+	})
+}

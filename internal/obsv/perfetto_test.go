@@ -1,0 +1,137 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tca/internal/sim"
+)
+
+func perfettoFixture() []Event {
+	return []Event{
+		{At: 100, Txn: 1, Stage: StageCPUStore, Where: "node0"},
+		{At: 300, Txn: 1, Stage: StageLinkTx, Where: "link:node0.peach2", Port: "N"},
+		{At: 900, Txn: 1, Stage: StagePortIn, Where: "peach2-0", Port: "N"},
+		{At: 1000, Txn: 1, Stage: StageRoute, Where: "peach2-0", Note: "out=E"},
+		{At: 2500, Txn: 1, Stage: StageHostWrite, Where: "node1.rc"},
+		// A second, single-event transaction.
+		{At: 4000, Txn: 2, Stage: StageCPUStore, Where: "node0"},
+	}
+}
+
+// TestWritePerfettoSchema validates the emitted file against the Chrome
+// trace_event contract: a traceEvents array whose entries all carry
+// name/ph/ts/pid, "X" slices with positive dur, and flow events that open
+// with "s" and close with "f".
+func TestWritePerfettoSchema(t *testing.T) {
+	tl := &Timeline{}
+	s := newSeries("link_util", "link:peach2-0.E", "ab", "%", 8)
+	s.append(sim.Time(1000), 50)
+	s.append(sim.Time(2000), 91)
+	tl.add(s)
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, perfettoFixture(), tl); err != nil {
+		t.Fatal(err)
+	}
+
+	var file struct {
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", file.DisplayTimeUnit)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	var slices, flowsS, flowsF, counters, instants, metas int
+	for i, ev := range file.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if _, ok := ev["name"].(string); !ok || ph == "" {
+			t.Fatalf("event %d missing name/ph: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d missing pid: %v", i, ev)
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event %d missing ts: %v", i, ev)
+		}
+		switch ph {
+		case "M":
+			metas++
+		case "X":
+			slices++
+			if d, _ := ev["dur"].(float64); d <= 0 {
+				t.Errorf("X slice with non-positive dur: %v", ev)
+			}
+		case "s":
+			flowsS++
+		case "f":
+			flowsF++
+		case "C":
+			counters++
+			args, _ := ev["args"].(map[string]interface{})
+			if _, ok := args["value"].(float64); !ok {
+				t.Errorf("counter without numeric args.value: %v", ev)
+			}
+		case "i":
+			instants++
+		}
+	}
+	// Txn 1 has 5 events → 4 hops → 4 slices; txn 2 → 1 instant.
+	if slices != 4 {
+		t.Errorf("slices = %d, want 4", slices)
+	}
+	if instants != 1 {
+		t.Errorf("instants = %d, want 1", instants)
+	}
+	if flowsS != 1 || flowsF != 1 {
+		t.Errorf("flow open/close = %d/%d, want 1/1", flowsS, flowsF)
+	}
+	if counters != 2 {
+		t.Errorf("counter events = %d, want 2", counters)
+	}
+	// Metadata must name both processes and every component thread.
+	if metas < 2+3 {
+		t.Errorf("metadata events = %d, want process names + thread names", metas)
+	}
+}
+
+// TestPerfettoDeterministic: same input, byte-identical output.
+func TestPerfettoDeterministic(t *testing.T) {
+	tl := &Timeline{}
+	s := newSeries("dma_busy", "peach2-0/dmac", "", "%", 4)
+	s.append(sim.Time(500), 75)
+	tl.add(s)
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, perfettoFixture(), tl); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, perfettoFixture(), tl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same input differ")
+	}
+}
+
+// TestPerfettoEmpty: no events, no timeline — still a valid file.
+func TestPerfettoEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := file["traceEvents"].([]interface{}); !ok {
+		t.Error("traceEvents missing or not an array")
+	}
+}

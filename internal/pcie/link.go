@@ -140,6 +140,10 @@ type linkDir struct {
 	inFlight int
 	waiting  []*TLP
 	dst      *Port
+	// reserved accumulates every wire reservation, so telemetry can
+	// compute the direction's exact busy time up to any instant as
+	// reserved − max(0, nextFree − now).
+	reserved units.Duration
 }
 
 // Connect joins two ports with a link. Exactly one port must be RC-side and
@@ -183,9 +187,10 @@ func MustConnect(eng *sim.Engine, a, b *Port, params LinkParams) *Link {
 func (l *Link) Params() LinkParams { return l.params }
 
 // Instrument attaches the link to an observability set under the given
-// name: per-direction TLP/byte/credit-stall counters in the registry, and
-// StageLinkTx span events for traced packets. Direction labels follow the
-// port order passed to Connect ("ab" = a→b).
+// name: per-direction TLP/byte/credit-stall counters in the registry,
+// StageLinkTx span events for traced packets, and telemetry probes for
+// utilization, credit-queue depth, and in-flight TLPs. Direction labels
+// follow the port order passed to Connect ("ab" = a→b).
 func (l *Link) Instrument(set *obsv.Set, name string) {
 	reg := set.Registry()
 	l.obsName = name
@@ -195,6 +200,42 @@ func (l *Link) Instrument(set *obsv.Set, name string) {
 		l.mTLPs[i] = reg.Counter("link_tlps_tx", name, obsv.Label{Key: "dir", Value: d})
 		l.mBytes[i] = reg.Counter("link_bytes_tx", name, obsv.Label{Key: "dir", Value: d})
 		l.mStalled[i] = reg.Counter("link_credit_stalls", name, obsv.Label{Key: "dir", Value: d})
+	}
+	l.registerProbes(set.Sampler(), name)
+}
+
+// registerProbes wires the link's telemetry series. Probes only read
+// direction state (the sampler contract), so sampling never perturbs wire
+// timing.
+func (l *Link) registerProbes(sam *obsv.Sampler, name string) {
+	if sam == nil {
+		return
+	}
+	dirs := [2]*linkDir{&l.aToB, &l.bToA}
+	labels := [2]string{"ab", "ba"}
+	for i, d := range dirs {
+		d := d
+		var lastBusy units.Duration
+		sam.Register("link_util", name, labels[i], "%", func(now sim.Time, elapsed units.Duration) float64 {
+			// Exact busy time through now: everything reserved on the
+			// wire minus the portion booked beyond the present.
+			busy := d.reserved
+			if ahead := d.wire.NextFree().Sub(now); ahead > 0 {
+				busy -= ahead
+			}
+			delta := busy - lastBusy
+			lastBusy = busy
+			if elapsed <= 0 {
+				return 0
+			}
+			return 100 * float64(delta) / float64(elapsed)
+		})
+		sam.Register("link_queued", name, labels[i], "tlps", func(sim.Time, units.Duration) float64 {
+			return float64(len(d.waiting))
+		})
+		sam.Register("link_inflight", name, labels[i], "tlps", func(sim.Time, units.Duration) float64 {
+			return float64(d.inFlight)
+		})
 	}
 }
 
@@ -237,6 +278,7 @@ func (l *Link) transmit(now sim.Time, d *linkDir, t *TLP) {
 	d.inFlight++
 	ser := units.TimeToSend(t.WireBytes(), l.params.Config.RawBandwidth())
 	start := d.wire.Reserve(now, ser)
+	d.reserved += ser
 	if l.rec != nil && t.Txn != 0 {
 		l.rec.Record(obsv.Event{At: start, Txn: t.Txn, Stage: obsv.StageLinkTx,
 			Where: l.obsName, Port: d.dst.Label, Addr: uint64(t.Addr)})

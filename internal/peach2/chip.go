@@ -51,6 +51,7 @@ type Chip struct {
 // chipMetrics are the chip's registered metric handles.
 type chipMetrics struct {
 	tlpsIn    [4]*obsv.Counter
+	bytesIn   [4]*obsv.Counter
 	tlpsOut   [numPorts]*obsv.Counter
 	bytesOut  [numPorts]*obsv.Counter
 	converted *obsv.Counter
@@ -69,11 +70,13 @@ func (c *Chip) Instrument(set *obsv.Set) {
 	c.rec = set.Recorder()
 	for p := PortN; p <= PortS; p++ {
 		c.cm.tlpsIn[p] = reg.Counter("port_tlps_in", c.name, obsv.Label{Key: "port", Value: p.String()})
+		c.cm.bytesIn[p] = reg.Counter("port_bytes_in", c.name, obsv.Label{Key: "port", Value: p.String()})
 	}
 	for p := PortN; p < numPorts; p++ {
 		c.cm.tlpsOut[p] = reg.Counter("port_tlps_out", c.name, obsv.Label{Key: "port", Value: p.String()})
 		c.cm.bytesOut[p] = reg.Counter("port_bytes_out", c.name, obsv.Label{Key: "port", Value: p.String()})
 	}
+	c.registerProbes(set.Sampler())
 	c.cm.converted = reg.Counter("addr_conversions", c.name)
 	c.cm.acksSent = reg.Counter("flush_acks_sent", c.name)
 	c.cm.acksRecv = reg.Counter("flush_acks_recv", c.name)
@@ -81,6 +84,31 @@ func (c *Chip) Instrument(set *obsv.Set) {
 	c.cm.irqs = reg.Counter("irqs", c.name)
 	c.cm.routeMiss = reg.Counter("route_misses", c.name)
 	c.dmac.instrument(set)
+}
+
+// registerProbes wires the chip's telemetry: per-port ingress and egress
+// bytes per sampling interval, computed as deltas of the cumulative byte
+// counters.
+func (c *Chip) registerProbes(sam *obsv.Sampler) {
+	if sam == nil {
+		return
+	}
+	for p := PortN; p <= PortS; p++ {
+		inC, outC := c.cm.bytesIn[p], c.cm.bytesOut[p]
+		var lastIn, lastOut uint64
+		sam.Register("port_in_bytes", c.name, p.String(), "B", func(sim.Time, units.Duration) float64 {
+			cur := inC.Value()
+			delta := cur - lastIn
+			lastIn = cur
+			return float64(delta)
+		})
+		sam.Register("port_out_bytes", c.name, p.String(), "B", func(sim.Time, units.Duration) float64 {
+			cur := outC.Value()
+			delta := cur - lastOut
+			lastOut = cur
+			return float64(delta)
+		})
+	}
 }
 
 // portIndex maps a physical port back to its ID (for ingress accounting).
@@ -255,7 +283,9 @@ func (c *Chip) convertN(a pcie.Addr) (pcie.Addr, BlockClass, bool) {
 // Accept implements pcie.Device.
 func (c *Chip) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Duration {
 	if c.cm.tlpsIn[PortN] != nil {
-		c.cm.tlpsIn[c.portIndex(in)].Inc()
+		pi := c.portIndex(in)
+		c.cm.tlpsIn[pi].Inc()
+		c.cm.bytesIn[pi].Add(uint64(t.WireBytes()))
 	}
 	if c.rec != nil && t.Txn != 0 {
 		c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StagePortIn,

@@ -147,6 +147,10 @@ type DMAC struct {
 	txn        uint64
 	lastTxn    uint64
 	chainStart sim.Time
+	// busyAccum is the cumulative busy time of completed chains; the
+	// telemetry probe adds the running chain's partial time on top, so
+	// the windowed busy fraction is exact at any tick.
+	busyAccum  units.Duration
 	mChains    *obsv.Counter
 	mTLPs      *obsv.Counter
 	mReads     *obsv.Counter
@@ -165,6 +169,34 @@ func (d *DMAC) instrument(set *obsv.Set) {
 	d.mBusyPS = reg.Counter("dma_busy_ps", name)
 	d.mQueue = reg.Gauge("dma_read_queue_depth", name)
 	d.mChainLat = reg.Histogram("dma_chain_latency", name, nil)
+	d.registerProbes(set.Sampler(), name)
+}
+
+// registerProbes wires the DMAC's telemetry: windowed busy fraction, read
+// queue depth, and outstanding read requests.
+func (d *DMAC) registerProbes(sam *obsv.Sampler, name string) {
+	if sam == nil {
+		return
+	}
+	var lastBusy units.Duration
+	sam.Register("dma_busy", name, "", "%", func(now sim.Time, elapsed units.Duration) float64 {
+		busy := d.busyAccum
+		if d.state != dmacIdle {
+			busy += now.Sub(d.chainStart)
+		}
+		delta := busy - lastBusy
+		lastBusy = busy
+		if elapsed <= 0 {
+			return 0
+		}
+		return 100 * float64(delta) / float64(elapsed)
+	})
+	sam.Register("dma_read_queue", name, "", "reqs", func(sim.Time, units.Duration) float64 {
+		return float64(len(d.readQueue))
+	})
+	sam.Register("dma_reads_inflight", name, "", "reads", func(sim.Time, units.Duration) float64 {
+		return float64(d.readsPending)
+	})
 }
 
 // LastChainTxn reports the transaction ID of the most recently completed
@@ -612,6 +644,7 @@ func (d *DMAC) maybeComplete() {
 	d.chains++
 	d.mChains.Inc()
 	busy := d.chip.eng.Now().Sub(d.chainStart)
+	d.busyAccum += busy
 	d.mBusyPS.Add(uint64(busy))
 	d.mChainLat.Observe(busy)
 	d.lastTxn = d.txn

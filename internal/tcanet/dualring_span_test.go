@@ -1,0 +1,62 @@
+package tcanet
+
+import (
+	"testing"
+
+	"tca/internal/obsv"
+	"tca/internal/pcie"
+	"tca/internal/sim"
+)
+
+// TestDualRingSpanCrossesPortS traces a PIO store from ring A to ring B of
+// a dual-ring sub-cluster and checks the breakdown: the packet enters the
+// peer chip through Port S (the ring-coupling port of §III-D) and the hop
+// sum equals the measured store-to-poll latency.
+func TestDualRingSpanCrossesPortS(t *testing.T) {
+	eng := sim.NewEngine()
+	sc, err := BuildDualRing(eng, 2, DefaultParams) // nodes 0,1 ring A; 2,3 ring B
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := obsv.NewSet(1024)
+	sc.Instrument(set)
+
+	const dst = 2 // node 0's Port-S peer
+	buf, err := sc.Node(dst).AllocDMABuffer(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sc.GlobalHostAddr(dst, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen sim.Time
+	sc.Node(dst).Poll(pcie.Range{Base: buf, Size: 8}, func(now sim.Time) { seen = now })
+	txn := sc.Node(0).StoreTxn(g, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	eng.Run()
+	if seen == 0 {
+		t.Fatal("cross-ring store never observed")
+	}
+	if txn == 0 {
+		t.Fatal("instrumented store got no transaction ID")
+	}
+
+	events := set.Recorder().TxnEvents(txn)
+	hops := obsv.Breakdown(events)
+	if len(hops) == 0 {
+		t.Fatal("no hops recorded")
+	}
+	crossedS := false
+	for _, ev := range events {
+		if ev.Stage == obsv.StagePortIn && ev.Where == "peach2-2" && ev.Port == "S" {
+			crossedS = true
+		}
+	}
+	if !crossedS {
+		t.Errorf("span never entered peach2-2 through Port S; events:\n%v", events)
+	}
+	// The store issued at t=0, so the hop sum is the full one-way latency.
+	if got := obsv.TotalLatency(hops); sim.Time(0).Add(got) != seen {
+		t.Errorf("hop sum %v != store-to-poll latency %v", got, seen)
+	}
+}

@@ -68,6 +68,18 @@ func (sc *SubCluster) Instrument(set *obsv.Set) {
 // Observability returns the attached set, or nil when uninstrumented.
 func (sc *SubCluster) Observability() *obsv.Set { return sc.obs }
 
+// StartTelemetry begins periodic sampling of every probe the instrumented
+// components registered (link utilization, DMAC busy fraction, port byte
+// rates, outstanding reads, queue depths) at the given sim-time interval.
+// The sampler stops itself when the event queue drains; call again to
+// sample a later phase. Panics if the sub-cluster was never instrumented.
+func (sc *SubCluster) StartTelemetry(interval units.Duration) {
+	if sc.obs == nil {
+		panic("tcanet: StartTelemetry on an uninstrumented sub-cluster (call Instrument first)")
+	}
+	sc.obs.Sampler().Start(sc.eng, interval)
+}
+
 // instrumentChips wires chips and their connected links into a set, naming
 // each link after the first chip-side port that reaches it
 // ("link:peach2-0.E").
