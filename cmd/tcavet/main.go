@@ -1,0 +1,161 @@
+// Command tcavet runs the project's custom static-analysis suite — the
+// invariants that make the simulator's paper reproductions trustworthy
+// but that go vet cannot see:
+//
+//	simdeterminism  no wall clock, no unseeded randomness, no
+//	                order-sensitive work inside map iteration
+//	unittypes       no raw conversions mixing sim.Time / units.* types,
+//	                no float64(unit) outside stats/formatting code
+//	panicstyle      hardware-model panics carry the component name
+//	nilprobe        obsv probe/sampler/series methods nil-guard so the
+//	                disabled path stays a zero-alloc no-op
+//	heapsafety      engine callbacks spawn no goroutines, never re-enter
+//	                the engine, and capture no loop variables
+//
+// Usage:
+//
+//	go run ./cmd/tcavet ./...
+//	go run ./cmd/tcavet -list
+//	go run ./cmd/tcavet ./internal/peach2 ./internal/pcie
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 load/usage error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tca/internal/analysis/framework"
+	"tca/internal/analysis/heapsafety"
+	"tca/internal/analysis/nilprobe"
+	"tca/internal/analysis/panicstyle"
+	"tca/internal/analysis/simdeterminism"
+	"tca/internal/analysis/unittypes"
+)
+
+var suite = []*framework.Analyzer{
+	simdeterminism.Analyzer,
+	unittypes.Analyzer,
+	panicstyle.Analyzer,
+	nilprobe.Analyzer,
+	heapsafety.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%s\n%s\n\n", a.Name, indent(a.Doc))
+		}
+		return
+	}
+
+	active := suite
+	if *only != "" {
+		byName := map[string]*framework.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		active = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tcavet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			active = append(active, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcavet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := framework.LoadModule(root, modPath, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcavet: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := framework.Run(pkg, active)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcavet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			rel, relErr := filepath.Rel(root, pos.Filename)
+			if relErr != nil {
+				rel = pos.Filename
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "tcavet: %d diagnostic(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// findModule locates go.mod upward from the working directory and reads
+// the module path from it.
+func findModule() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		modFile := filepath.Join(dir, "go.mod")
+		if _, statErr := os.Stat(modFile); statErr == nil {
+			path, parseErr := modulePath(modFile)
+			if parseErr != nil {
+				return "", "", parseErr
+			}
+			return dir, path, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func modulePath(modFile string) (string, error) {
+	f, err := os.Open(modFile)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("%s: no module directive", modFile)
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimSpace(s), "\n", "\n    ")
+}

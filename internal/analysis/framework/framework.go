@@ -1,0 +1,122 @@
+// Package framework is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that the tcavet suite builds on:
+// Analyzer, Pass, Diagnostic, plus the package loader the driver and the
+// fixture runner share. The build environment has no module proxy access,
+// so instead of depending on x/tools the suite carries these three concepts
+// itself on top of the standard library's go/ast, go/types and go/build.
+//
+// The API is deliberately shaped like x/tools so the analyzers port over
+// verbatim if the dependency ever becomes available.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one static check. Run inspects a fully type-checked
+// package through its Pass and reports diagnostics; it must be stateless
+// across packages.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is the one-paragraph description printed by `tcavet -list`. The
+	// first line is the summary.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer,
+	})
+}
+
+// Run applies each analyzer to the package and returns the combined
+// diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diagnostics...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer.Name < out[j].Analyzer.Name
+	})
+	return out, nil
+}
+
+// Named unwraps pointers and returns the defining package name and type
+// name of a named type, e.g. ("sim", "Engine"). ok is false for unnamed
+// types and types from the universe scope.
+func Named(t types.Type) (pkgName, typeName string, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Name(), obj.Name(), true
+}
+
+// MethodOn reports whether the call invokes a method with the given name
+// on a receiver whose defining package and type match, resolving through
+// the pass's type information. It returns false for non-method calls.
+func MethodOn(pass *Pass, call *ast.CallExpr, pkgName, typeName, method string) bool {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return false
+	}
+	fn, okFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !okFn || fn.Name() != method {
+		return false
+	}
+	sig, okSig := fn.Type().(*types.Signature)
+	if !okSig || sig.Recv() == nil {
+		return false
+	}
+	p, t, okNamed := Named(sig.Recv().Type())
+	return okNamed && p == pkgName && t == typeName
+}

@@ -1,0 +1,153 @@
+// Package heapsafety audits the callbacks handed to the event heap. The
+// engine is single-threaded on purpose — every hardware model mutates
+// shared state from inside callbacks with no locking — and a callback
+// runs long after the statement that scheduled it. Three things therefore
+// have no place inside a sim.Engine.At/After closure: goroutines (they
+// race the event loop), re-entrant Run/Step calls (they corrupt the
+// clock), and loop variables captured from an enclosing loop (safe only
+// under Go >= 1.22 per-iteration semantics; an explicit copy keeps the
+// deferred capture correct under every toolchain and obvious to readers).
+package heapsafety
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tca/internal/analysis/framework"
+)
+
+// Analyzer flags goroutine spawns, engine re-entry and loop-variable
+// captures inside callbacks scheduled on sim.Engine.
+var Analyzer = &framework.Analyzer{
+	Name: "heapsafety",
+	Doc: `audit closures scheduled on the event heap
+
+Callbacks passed to sim.Engine.At/After must not spawn goroutines (the
+engine is single-threaded by design), must not call Run/RunUntil/RunFor/
+Step re-entrantly, and must not capture an enclosing loop's iteration
+variable — copy it to a named local first so the deferred capture does
+not silently depend on Go 1.22 loop-variable semantics.`,
+	Run: run,
+}
+
+// scheduleMethods are the sim.Engine methods that accept a deferred
+// callback.
+var scheduleMethods = []string{"At", "After"}
+
+// reentrantMethods advance the engine and must never run from inside a
+// handler.
+var reentrantMethods = map[string]bool{
+	"Run": true, "RunUntil": true, "RunFor": true, "Step": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		walk(pass, file, map[types.Object]bool{})
+	}
+	return nil
+}
+
+// walk traverses the file keeping the set of loop variables in scope.
+// When it reaches a schedule call, it audits every function-literal
+// argument against that set.
+func walk(pass *framework.Pass, n ast.Node, loopVars map[types.Object]bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.RangeStmt:
+			if c.Key != nil || c.Value != nil {
+				inner := withLoopVars(pass, loopVars, c.Key, c.Value)
+				walkParts(pass, loopVars, c.X)
+				walkParts(pass, inner, c.Body)
+				return false
+			}
+		case *ast.ForStmt:
+			if assign, ok := c.Init.(*ast.AssignStmt); ok {
+				inner := withLoopVars(pass, loopVars, assign.Lhs...)
+				for _, rhs := range assign.Rhs {
+					walkParts(pass, loopVars, rhs)
+				}
+				walkParts(pass, inner, c.Cond, c.Post, c.Body)
+				return false
+			}
+		case *ast.CallExpr:
+			if isScheduleCall(pass, c) {
+				for _, arg := range c.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						auditCallback(pass, lit, loopVars)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func walkParts(pass *framework.Pass, loopVars map[types.Object]bool, parts ...ast.Node) {
+	for _, p := range parts {
+		if p != nil {
+			walk(pass, p, loopVars)
+		}
+	}
+}
+
+// withLoopVars returns loopVars extended with the objects the given
+// identifier expressions define.
+func withLoopVars(pass *framework.Pass, loopVars map[types.Object]bool, exprs ...ast.Expr) map[types.Object]bool {
+	inner := make(map[types.Object]bool, len(loopVars)+len(exprs))
+	for k := range loopVars {
+		inner[k] = true
+	}
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			inner[obj] = true
+		}
+	}
+	return inner
+}
+
+// isScheduleCall reports whether the call schedules a deferred callback
+// on the event engine.
+func isScheduleCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	for _, m := range scheduleMethods {
+		if framework.MethodOn(pass, call, "sim", "Engine", m) {
+			return true
+		}
+	}
+	return false
+}
+
+// auditCallback checks one scheduled closure. Loop variables declared
+// inside the literal itself shadow the outer set and are fine.
+func auditCallback(pass *framework.Pass, lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"goroutine spawned inside an engine callback; the event loop is single-threaded by design")
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && reentrantMethods[fn.Name()] {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if pkg, typ, ok := framework.Named(sig.Recv().Type()); ok && pkg == "sim" && typ == "Engine" {
+							pass.Reportf(n.Pos(),
+								"re-entrant Engine.%s inside an engine callback corrupts the clock; schedule follow-up work instead", fn.Name())
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj != nil && loopVars[obj] && !reported[obj] {
+				reported[obj] = true
+				pass.Reportf(n.Pos(),
+					"engine callback captures loop variable %s; copy it to a local before scheduling so the deferred capture is explicit", n.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package heapsafety_test
+
+import (
+	"testing"
+
+	"tca/internal/analysis/analysistest"
+	"tca/internal/analysis/heapsafety"
+)
+
+func TestHeapSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", heapsafety.Analyzer, "heapfix")
+}

@@ -1,0 +1,32 @@
+// Package heapfix exercises the heapsafety analyzer: goroutines,
+// re-entrant engine calls and loop-variable captures inside scheduled
+// callbacks.
+package heapfix
+
+import "sim"
+
+func work() {}
+
+func schedule(eng *sim.Engine, items []sim.Time) {
+	for _, it := range items {
+		it := it
+		eng.At(it, func() { _ = it }) // ok: explicit copy captured
+	}
+	for _, it := range items {
+		eng.At(0, func() { _ = it }) // want `captures loop variable it`
+	}
+	for i := 0; i < len(items); i++ {
+		eng.After(1, func() { _ = items[i] }) // want `captures loop variable i`
+	}
+	eng.At(0, func() {
+		go work() // want `goroutine spawned inside an engine callback`
+	})
+	eng.At(0, func() {
+		eng.Run() // want `re-entrant Engine\.Run`
+	})
+	eng.At(0, func() {
+		eng.Step() // want `re-entrant Engine\.Step`
+	})
+	eng.After(1, func() { work() })                  // ok: plain deferred work
+	eng.After(1, func() { eng.After(1, func() {}) }) // ok: scheduling more work is fine
+}

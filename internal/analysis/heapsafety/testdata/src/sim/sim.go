@@ -1,0 +1,20 @@
+// Package sim is a fixture stand-in for the real engine: the heapsafety
+// analyzer identifies sim.Engine by defining package name and type name.
+package sim
+
+// Time mirrors the picosecond timestamp.
+type Time int64
+
+// Duration mirrors units.Duration locally to keep the fixture small.
+type Duration int64
+
+// Engine mirrors the scheduling and run surface of the real engine.
+type Engine struct{}
+
+func (e *Engine) Now() Time                   { return 0 }
+func (e *Engine) At(t Time, fn func())        {}
+func (e *Engine) After(d Duration, fn func()) {}
+func (e *Engine) Run() Time                   { return 0 }
+func (e *Engine) RunUntil(deadline Time)      {}
+func (e *Engine) RunFor(d Duration)           {}
+func (e *Engine) Step() bool                  { return false }

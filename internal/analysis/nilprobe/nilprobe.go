@@ -1,0 +1,129 @@
+// Package nilprobe pins the zero-cost disabled observability path. The
+// nil Sampler / Series / Timeline is the *disabled* instrument: an
+// uninstrumented fabric passes nil receivers through every probe call,
+// and PR 2's benchmarks pinned that path as allocation-free. That only
+// holds while every exported method on those types starts with a
+// nil-receiver guard — one missing guard turns the disabled path into a
+// nil-pointer crash on the first uninstrumented run.
+package nilprobe
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"tca/internal/analysis/framework"
+)
+
+// Analyzer flags exported pointer-receiver methods on obsv's probe,
+// sampler and series types that do not open with a nil-receiver guard.
+var Analyzer = &framework.Analyzer{
+	Name: "nilprobe",
+	Doc: `require nil-receiver guards on obsv probe/sampler/series methods
+
+The nil value of Sampler, Series and Timeline (and any *Probe type) is
+the disabled instrument; exported methods must begin with
+"if r == nil { ... }" so disabled telemetry stays a zero-alloc no-op
+instead of a crash.`,
+	Run: run,
+}
+
+// guardedTypes lists the obsv receiver types whose nil value means
+// "telemetry disabled".
+var guardedTypes = map[string]bool{
+	"Sampler": true, "Series": true, "Timeline": true,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() != "obsv" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recvName, typeName, ok := pointerReceiver(fn)
+			if !ok || !(guardedTypes[typeName] || strings.HasSuffix(typeName, "Probe")) {
+				continue
+			}
+			if recvName == "" || recvName == "_" {
+				pass.Reportf(fn.Pos(),
+					"exported method (*%s).%s discards its receiver and cannot nil-guard; name the receiver and guard it",
+					typeName, fn.Name.Name)
+				continue
+			}
+			if !startsWithNilGuard(fn.Body, recvName) {
+				pass.Reportf(fn.Pos(),
+					"exported method (*%s).%s must begin with `if %s == nil` so the disabled (nil) instrument stays a no-op",
+					typeName, fn.Name.Name, recvName)
+			}
+		}
+	}
+	return nil
+}
+
+// pointerReceiver returns the receiver variable name and the pointed-to
+// type name for a *T receiver.
+func pointerReceiver(fn *ast.FuncDecl) (recvName, typeName string, ok bool) {
+	if len(fn.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fn.Recv.List[0]
+	star, isStar := field.Type.(*ast.StarExpr)
+	if !isStar {
+		return "", "", false
+	}
+	base := star.X
+	if idx, isIdx := base.(*ast.IndexExpr); isIdx { // generic receiver
+		base = idx.X
+	}
+	id, isIdent := base.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	return recvName, id.Name, true
+}
+
+// startsWithNilGuard reports whether the body's first statement is an if
+// whose condition checks recv == nil (alone or as the leading operand of
+// a || chain).
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	return condChecksNil(ifStmt.Cond, recv)
+}
+
+func condChecksNil(cond ast.Expr, recv string) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.LOR:
+		return condChecksNil(bin.X, recv)
+	case token.EQL:
+		return isIdentNamed(bin.X, recv) && isNil(bin.Y) ||
+			isIdentNamed(bin.Y, recv) && isNil(bin.X)
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

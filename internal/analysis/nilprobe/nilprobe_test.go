@@ -1,0 +1,12 @@
+package nilprobe_test
+
+import (
+	"testing"
+
+	"tca/internal/analysis/analysistest"
+	"tca/internal/analysis/nilprobe"
+)
+
+func TestNilProbe(t *testing.T) {
+	analysistest.Run(t, "testdata", nilprobe.Analyzer, "obsv")
+}

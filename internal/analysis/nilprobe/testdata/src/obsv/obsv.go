@@ -1,0 +1,70 @@
+// Package obsv exercises the nilprobe analyzer: the nil Sampler / Series /
+// Timeline is the disabled instrument and every exported method must
+// no-op on it.
+package obsv
+
+type Sampler struct{ ticks uint64 }
+
+// Ticks guards first: ok.
+func (s *Sampler) Ticks() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ticks
+}
+
+// Running guards in a disjunction: ok.
+func (s *Sampler) Running() bool {
+	if s == nil || s.ticks == 0 {
+		return false
+	}
+	return true
+}
+
+func (s *Sampler) Reset() { // want `must begin with .if s == nil.`
+	s.ticks = 0
+}
+
+type Series struct{ n int }
+
+// Len guards: ok.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+func (s *Series) Grow() { // want `must begin with .if s == nil.`
+	s.n++
+}
+
+// append is unexported: internal callers already hold a non-nil receiver.
+func (s *Series) append(v int) { // ok
+	s.n += v
+}
+
+type Timeline struct{ series []*Series }
+
+func (t *Timeline) Find(name string) *Series { // want `must begin with .if t == nil.`
+	return t.series[0]
+}
+
+type LinkProbe struct{ v float64 }
+
+// Value guards: ok.
+func (p *LinkProbe) Value() float64 {
+	if p == nil {
+		return 0
+	}
+	return p.v
+}
+
+func (p *LinkProbe) Set(v float64) { // want `must begin with .if p == nil.`
+	p.v = v
+}
+
+// Snapshot is a value type: copies cannot be the disabled instrument.
+type Snapshot struct{ n int }
+
+func (s Snapshot) Count() int { return s.n } // ok: value receiver

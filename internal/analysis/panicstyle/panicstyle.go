@@ -1,0 +1,131 @@
+// Package panicstyle keeps fabric faults attributable. A panic raised by
+// a hardware model is the simulator's machine-check exception; when a
+// 16-node sweep dies mid-run the message must say which component of
+// which node tripped, so every panic in the hardware packages carries the
+// component name up front — "peach2 %s: ...", "switch %s: ...",
+// "%s: ..." with a DevName, or the bare package prefix "pcie: ...".
+package panicstyle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"tca/internal/analysis/framework"
+)
+
+// Analyzer flags panics in hardware-model packages whose message does not
+// start with a component tag.
+var Analyzer = &framework.Analyzer{
+	Name: "panicstyle",
+	Doc: `require component-tagged panic messages in hardware-model packages
+
+In peach2, pcie, host and tcanet every panic must identify its component:
+the message (a string literal, or the format string of fmt.Sprintf /
+fmt.Errorf) must begin with the package name ("pcie: ..."), a component
+kind plus dynamic name ("switch %s: ..."), or a dynamic device name
+("%s: ..."). panic(err) and untagged literals lose the fault's origin
+once sweeps run hundreds of nodes.`,
+	Run: run,
+}
+
+// hardwarePackages are the packages modeling hardware whose faults must
+// stay attributable.
+var hardwarePackages = map[string]bool{
+	"peach2": true, "pcie": true, "host": true, "tcanet": true,
+}
+
+// dynamicTag matches "%s: ..." / "%v ..." — a component name substituted
+// at fault time.
+var dynamicTag = regexp.MustCompile(`^%[sv][ :]`)
+
+// kindTag matches "switch %s: ..." / "link %v: ..." — a component kind
+// followed by a dynamic instance name.
+var kindTag = regexp.MustCompile(`^[a-z][a-z0-9]* %[sv][ :]`)
+
+func run(pass *framework.Pass) error {
+	if !hardwarePackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltinPanic(pass, call) || len(call.Args) != 1 {
+				return true
+			}
+			checkPanic(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func isBuiltinPanic(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func checkPanic(pass *framework.Pass, call *ast.CallExpr) {
+	pkg := pass.Pkg.Name()
+	lit, found := messageLiteral(pass, call.Args[0])
+	if !found {
+		pass.Reportf(call.Pos(),
+			"panic without a component-tagged message in package %s; wrap the value: panic(fmt.Sprintf(%q, name, err))",
+			pkg, pkg+" %s: %v")
+		return
+	}
+	if !tagged(pkg, lit) {
+		pass.Reportf(call.Pos(),
+			"panic message %q does not start with a component tag (%q, \"<kind> %%s: \", or \"%%s: \")",
+			truncate(lit, 40), pkg+": ")
+	}
+}
+
+// messageLiteral extracts the message's string literal: the argument
+// itself, or the format string of an fmt.Sprintf / fmt.Errorf argument.
+func messageLiteral(pass *framework.Pass, arg ast.Expr) (string, bool) {
+	if call, ok := arg.(*ast.CallExpr); ok {
+		sel, okSel := call.Fun.(*ast.SelectorExpr)
+		if !okSel || len(call.Args) == 0 {
+			return "", false
+		}
+		fn, okFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !okFn || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" ||
+			(fn.Name() != "Sprintf" && fn.Name() != "Errorf" && fn.Name() != "Sprint") {
+			return "", false
+		}
+		arg = call.Args[0]
+	}
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// tagged reports whether the message starts with an accepted component
+// tag for the package.
+func tagged(pkg, msg string) bool {
+	if strings.HasPrefix(msg, pkg+" ") || strings.HasPrefix(msg, pkg+":") {
+		return true
+	}
+	return dynamicTag.MatchString(msg) || kindTag.MatchString(msg)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

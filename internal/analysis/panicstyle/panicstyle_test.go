@@ -1,0 +1,12 @@
+package panicstyle_test
+
+import (
+	"testing"
+
+	"tca/internal/analysis/analysistest"
+	"tca/internal/analysis/panicstyle"
+)
+
+func TestPanicStyle(t *testing.T) {
+	analysistest.Run(t, "testdata", panicstyle.Analyzer, "peach2")
+}

@@ -1,0 +1,35 @@
+// Package peach2 exercises the panicstyle analyzer inside a
+// hardware-model package name.
+package peach2
+
+import "fmt"
+
+type chip struct{ name string }
+
+func okPackageTag(c *chip) {
+	panic(fmt.Sprintf("peach2 %s: doorbell while DMAC busy", c.name)) // ok
+}
+
+func okBareTag() {
+	panic("peach2: plan missing") // ok
+}
+
+func okKindTag(name string) {
+	panic(fmt.Sprintf("switch %s: window overlap", name)) // ok: component kind + dynamic name
+}
+
+func okDynamicTag(devName string) {
+	panic(fmt.Sprintf("%s: store to unmapped address", devName)) // ok: dynamic device name
+}
+
+func badErrValue(err error) {
+	panic(err) // want `panic without a component-tagged message`
+}
+
+func badUntaggedLiteral() {
+	panic("doorbell while DMAC busy") // want `does not start with a component tag`
+}
+
+func badUntaggedSprintf(n int) {
+	panic(fmt.Sprintf("bad descriptor count %d", n)) // want `does not start with a component tag`
+}

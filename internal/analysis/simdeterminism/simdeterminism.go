@@ -1,0 +1,182 @@
+// Package simdeterminism enforces the engine's bit-for-bit replay
+// guarantee: simulator code must derive every timestamp from sim.Engine
+// and every random draw from a seeded source, and must never let Go's
+// randomized map iteration order decide the order in which events are
+// scheduled or packets are sent.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tca/internal/analysis/framework"
+)
+
+// Analyzer flags wall-clock reads, unseeded global randomness, and
+// order-sensitive work inside map iteration.
+var Analyzer = &framework.Analyzer{
+	Name: "simdeterminism",
+	Doc: `forbid nondeterminism sources in simulator code
+
+Simulated time comes from sim.Engine.Now, never the wall clock, and
+randomness must flow through a seeded *rand.Rand wired in from
+configuration. Ranging over a map is fine for building an index, but the
+body must not schedule events, send TLPs, or append to shared state,
+because Go randomizes map order and the event queue breaks ties by
+scheduling sequence.`,
+	Run: run,
+}
+
+// wallClockFuncs are the time package functions that read or depend on
+// the host clock (or block on it).
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededConstructors are the math/rand functions that build explicitly
+// seeded generators and are therefore allowed.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *framework.Pass) error {
+	if !appliesTo(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// appliesTo restricts the check to the simulator's internal packages;
+// cmd/ and examples/ may legitimately read the wall clock to report how
+// long a run took on the host.
+func appliesTo(path string) bool {
+	if !strings.HasPrefix(path, "tca/") && path != "tca" {
+		return true // fixture package
+	}
+	return strings.Contains(path, "/internal/")
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. a Timer's Stop) are not clock reads
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"wall-clock call time.%s in simulator code; derive time from sim.Engine.Now", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"unseeded global randomness rand.%s; draw from a seeded *rand.Rand carried in the config", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags order-sensitive statements inside a range over a
+// map. Collecting keys into a local slice (to sort before use) is the
+// blessed pattern and stays silent.
+func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if framework.MethodOn(pass, n, "sim", "Engine", "At") ||
+				framework.MethodOn(pass, n, "sim", "Engine", "After") {
+				pass.Reportf(n.Pos(),
+					"event scheduled inside map iteration: map order is randomized and the queue breaks ties by seq; collect and sort first")
+			}
+			if sendsTLP(pass, n) {
+				pass.Reportf(n.Pos(),
+					"TLP sent inside map iteration: map order is randomized; collect targets and sort before sending")
+			}
+		case *ast.AssignStmt:
+			checkSharedAppend(pass, n)
+		}
+		return true
+	})
+}
+
+// sendsTLP reports whether the call is a Send on a pcie component (Port
+// or Link), the operations whose relative order reaches the wire.
+func sendsTLP(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Send" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	pkg, _, ok := framework.Named(sig.Recv().Type())
+	return ok && pkg == "pcie"
+}
+
+// checkSharedAppend flags `x = append(x, ...)` inside the map range when
+// x is not a plain function-local variable — appends to struct fields or
+// package-level slices leak map order into shared or exported state.
+func checkSharedAppend(pass *framework.Pass, assign *ast.AssignStmt) {
+	for i, rhs := range assign.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(assign.Lhs) <= i {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		} else if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		switch lhs := assign.Lhs[i].(type) {
+		case *ast.Ident:
+			obj, ok := pass.TypesInfo.Uses[lhs].(*types.Var)
+			if !ok {
+				if def, okDef := pass.TypesInfo.Defs[lhs].(*types.Var); okDef {
+					obj = def
+				} else {
+					continue
+				}
+			}
+			if obj.Parent() == pass.Pkg.Scope() {
+				pass.Reportf(assign.Pos(),
+					"append to package-level %s inside map iteration leaks randomized map order; collect and sort first", lhs.Name)
+			}
+		case *ast.SelectorExpr:
+			pass.Reportf(assign.Pos(),
+				"append to shared state inside map iteration leaks randomized map order; collect and sort first")
+		}
+	}
+}

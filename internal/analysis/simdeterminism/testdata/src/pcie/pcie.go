@@ -1,0 +1,10 @@
+// Package pcie is a fixture stand-in for the wire layer.
+package pcie
+
+// TLP mirrors the real packet type.
+type TLP struct{}
+
+// Port mirrors the sending surface of the real port.
+type Port struct{}
+
+func (p *Port) Send(t *TLP) {}

@@ -1,0 +1,17 @@
+// Package sim is a fixture stand-in for the real engine: the analyzers
+// identify sim.Engine by defining package name and type name.
+package sim
+
+// Time mirrors the real picosecond timestamp.
+type Time int64
+
+// Duration mirrors units.Duration locally to keep the fixture small.
+type Duration int64
+
+// Engine mirrors the scheduling surface of the real engine.
+type Engine struct{}
+
+func (e *Engine) Now() Time                   { return 0 }
+func (e *Engine) At(t Time, fn func())        {}
+func (e *Engine) After(d Duration, fn func()) {}
+func (e *Engine) Run() Time                   { return 0 }

@@ -1,0 +1,47 @@
+// Package simdet exercises the simdeterminism analyzer: wall-clock reads,
+// unseeded randomness, and order-sensitive work inside map iteration.
+package simdet
+
+import (
+	"math/rand"
+	"time"
+
+	"pcie"
+	"sim"
+)
+
+func wallClock() {
+	_ = time.Now()      // want `wall-clock call time\.Now`
+	time.Sleep(1)       // want `wall-clock call time\.Sleep`
+	_ = time.Unix(0, 0) // ok: converts a constant, no clock read
+}
+
+func randomness() {
+	_ = rand.Intn(4)                   // want `unseeded global randomness rand\.Intn`
+	rand.Shuffle(1, func(i, j int) {}) // want `unseeded global randomness rand\.Shuffle`
+	r := rand.New(rand.NewSource(1))   // ok: explicitly seeded constructor
+	_ = r.Intn(4)                      // ok: method on the seeded source
+}
+
+var output []int
+
+type collector struct{ out []int }
+
+func mapOrder(eng *sim.Engine, p *pcie.Port, m map[int]sim.Time) {
+	for _, t := range m {
+		eng.At(t, func() {}) // want `event scheduled inside map iteration`
+	}
+	for range m {
+		p.Send(nil) // want `TLP sent inside map iteration`
+	}
+	var c collector
+	for k := range m {
+		output = append(output, k) // want `append to package-level output`
+		c.out = append(c.out, k)   // want `append to shared state`
+	}
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: collect into a local, sort afterwards
+	}
+	_ = keys
+}

@@ -1,0 +1,16 @@
+// Package sim is a fixture stand-in for the real engine's time type.
+package sim
+
+import "units"
+
+// Time mirrors the picosecond timestamp.
+type Time int64
+
+// Add is a blessed helper.
+func (t Time) Add(d units.Duration) Time { return t + Time(d) }
+
+// Sub is a blessed helper.
+func (t Time) Sub(earlier Time) units.Duration { return units.Duration(t - earlier) }
+
+// Elapsed is a blessed helper.
+func (t Time) Elapsed() units.Duration { return units.Duration(t) }

@@ -1,0 +1,52 @@
+// Package unitfix exercises the unittypes analyzer: raw conversions
+// between unit types and float conversions outside blessed contexts.
+package unitfix
+
+import (
+	"sim"
+	"units"
+)
+
+func cross(t sim.Time, d units.Duration, b units.ByteSize) {
+	_ = units.Duration(t)  // want `raw conversion sim\.Time -> units\.Duration`
+	_ = sim.Time(d)        // want `raw conversion units\.Duration -> sim\.Time`
+	_ = units.Duration(b)  // want `raw conversion units\.ByteSize -> units\.Duration`
+	_ = t.Elapsed()        // ok: blessed helper
+	_ = t.Add(d)           // ok: blessed helper
+	_ = t.Sub(t)           // ok: blessed helper
+	_ = units.Duration(42) // ok: construction from a raw constant
+}
+
+func floats(d units.Duration, b units.ByteSize, bw units.Bandwidth) {
+	_ = float64(d)       // want `float conversion of units\.Duration`
+	_ = float64(b)       // want `float conversion of units\.ByteSize`
+	_ = float32(bw)      // want `float conversion of units\.Bandwidth`
+	_ = d.Picoseconds()  // ok: blessed accessor
+	_ = b.Bytes()        // ok: blessed accessor
+	_ = bw.BytesPerSec() // ok: blessed accessor
+}
+
+type span struct{ d units.Duration }
+
+// String is formatting code, where float rendering of units is expected.
+func (s span) String() string {
+	_ = float64(s.d) // ok: inside a formatting function
+	return ""
+}
+
+// WriteReport is formatting code by prefix.
+func WriteReport(d units.Duration) {
+	_ = float64(d) // ok: Write* prefix marks formatting
+}
+
+func register(fn func(sim.Time, units.Duration) float64) {}
+
+func probes(d units.Duration) {
+	register(func(now sim.Time, elapsed units.Duration) float64 {
+		return float64(elapsed) // ok: telemetry probe shape is measurement code
+	})
+	helper := func(x units.Duration) float64 {
+		return float64(x) // want `float conversion of units\.Duration`
+	}
+	_ = helper(d)
+}

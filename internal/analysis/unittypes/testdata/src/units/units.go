@@ -1,0 +1,21 @@
+// Package units is a fixture stand-in for the real unit types, which the
+// unittypes analyzer identifies by defining package name and type name.
+package units
+
+// Duration mirrors the picosecond span type.
+type Duration int64
+
+// Picoseconds is the blessed float accessor.
+func (d Duration) Picoseconds() float64 { return float64(d) }
+
+// ByteSize mirrors the byte-count type.
+type ByteSize int64
+
+// Bytes is the blessed float accessor.
+func (b ByteSize) Bytes() float64 { return float64(b) }
+
+// Bandwidth mirrors the bytes-per-second rate type.
+type Bandwidth float64
+
+// BytesPerSec is the blessed float accessor.
+func (bw Bandwidth) BytesPerSec() float64 { return float64(bw) }

@@ -1,0 +1,191 @@
+// Package unittypes keeps latency and size math inside the typed integer
+// unit system. All calibration rests on picosecond-exact integer
+// arithmetic: sim.Time and units.Duration only meet through Time.Add /
+// Time.Sub / Time.Elapsed, and a unit value only becomes a float64
+// through its blessed accessor (Duration.Picoseconds, ByteSize.Bytes,
+// Bandwidth.BytesPerSec, ...) in measurement or formatting code, never in
+// the simulation hot path where float drift would skew Figure 7–12.
+package unittypes
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tca/internal/analysis/framework"
+)
+
+// Analyzer flags raw conversions between unit types and float conversions
+// of unit types outside blessed contexts.
+var Analyzer = &framework.Analyzer{
+	Name: "unittypes",
+	Doc: `forbid raw conversions that mix unit types or bleed them into floats
+
+sim.Time, units.Duration, units.ByteSize and units.Bandwidth are distinct
+on purpose. Converting one into another with a plain conversion bypasses
+the Add/Sub/Elapsed helpers that keep timestamp arithmetic honest, and
+float64(unit) outside stats, formatting or probe code invites drift into
+integer latency math; use the type's accessor methods instead.`,
+	Run: run,
+}
+
+// unitKey identifies a unit type by defining package name and type name,
+// which also matches the fixture packages.
+type unitKey struct{ pkg, name string }
+
+var unitTypes = map[unitKey]bool{
+	{"sim", "Time"}:        true,
+	{"units", "Duration"}:  true,
+	{"units", "ByteSize"}:  true,
+	{"units", "Bandwidth"}: true,
+}
+
+// floatAccessor names the blessed float accessor for each unit type, for
+// the diagnostic's fix hint.
+var floatAccessor = map[unitKey]string{
+	{"sim", "Time"}:        "Time.Elapsed().Picoseconds()",
+	{"units", "Duration"}:  "Duration.Picoseconds/Nanoseconds/Seconds",
+	{"units", "ByteSize"}:  "ByteSize.Bytes",
+	{"units", "Bandwidth"}: "Bandwidth.BytesPerSec/GBps/MBps",
+}
+
+// crossHint suggests the blessed helper for a specific unit-type pair.
+func crossHint(from, to unitKey) string {
+	switch {
+	case from == (unitKey{"sim", "Time"}) && to == (unitKey{"units", "Duration"}):
+		return "use Time.Sub for intervals or Time.Elapsed for time since zero"
+	case from == (unitKey{"units", "Duration"}) && to == (unitKey{"sim", "Time"}):
+		return "use Time.Add"
+	default:
+		return "convert through the blessed helpers, not a raw cast"
+	}
+}
+
+func run(pass *framework.Pass) error {
+	if !appliesTo(pass.Pkg.Path(), pass.Pkg.Name()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		blessedDepth := 0
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if isBlessedFunc(pass, top) {
+					blessedDepth--
+				}
+				return true
+			}
+			stack = append(stack, n)
+			if isBlessedFunc(pass, n) {
+				blessedDepth++
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkConversion(pass, call, blessedDepth > 0)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isBlessedFunc reports whether entering n moves the walk into a context
+// where float conversions of unit types are expected: a formatting
+// function or a telemetry probe literal.
+func isBlessedFunc(pass *framework.Pass, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return isFormattingName(n.Name.Name)
+	case *ast.FuncLit:
+		return isProbeLit(pass, n)
+	}
+	return false
+}
+
+// appliesTo skips the packages that define or legitimately float the unit
+// types: sim and units own the arithmetic, stats and obsv are measurement
+// code, and cmd/examples binaries format for humans.
+func appliesTo(path, name string) bool {
+	switch name {
+	case "sim", "units", "stats", "obsv":
+		return false
+	}
+	if strings.HasPrefix(path, "tca/") && !strings.Contains(path, "/internal/") {
+		return false
+	}
+	return true
+}
+
+// isFormattingName reports whether a function name marks human-facing
+// output where float formatting of units is expected.
+func isFormattingName(name string) bool {
+	if name == "String" || name == "GoString" || name == "Format" {
+		return true
+	}
+	for _, prefix := range []string{"Write", "Marshal", "Export", "Fprint", "Render"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isProbeLit reports whether the literal has the telemetry probe shape
+// func(sim.Time, units.Duration) float64 — probes exist to turn unit
+// readings into float samples.
+func isProbeLit(pass *framework.Pass, lit *ast.FuncLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	p0, ok0 := unitOf(sig.Params().At(0).Type())
+	p1, ok1 := unitOf(sig.Params().At(1).Type())
+	if !ok0 || !ok1 || p0 != (unitKey{"sim", "Time"}) || p1 != (unitKey{"units", "Duration"}) {
+		return false
+	}
+	res, okRes := sig.Results().At(0).Type().(*types.Basic)
+	return okRes && res.Kind() == types.Float64
+}
+
+func unitOf(t types.Type) (unitKey, bool) {
+	pkg, name, ok := framework.Named(t)
+	if !ok {
+		return unitKey{}, false
+	}
+	k := unitKey{pkg, name}
+	return k, unitTypes[k]
+}
+
+// checkConversion inspects T(x) conversions.
+func checkConversion(pass *framework.Pass, call *ast.CallExpr, blessed bool) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	from, fromUnit := unitOf(argTV.Type)
+	if !fromUnit {
+		return
+	}
+	if to, toUnit := unitOf(tv.Type); toUnit && to != from {
+		pass.Reportf(call.Pos(), "raw conversion %s.%s -> %s.%s mixes unit types; %s",
+			from.pkg, from.name, to.pkg, to.name, crossHint(from, to))
+		return
+	}
+	if basic, isBasic := tv.Type.Underlying().(*types.Basic); isBasic &&
+		(basic.Kind() == types.Float64 || basic.Kind() == types.Float32) && !blessed {
+		pass.Reportf(call.Pos(), "float conversion of %s.%s outside stats/formatting code; use %s",
+			from.pkg, from.name, floatAccessor[from])
+	}
+}

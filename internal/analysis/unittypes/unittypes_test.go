@@ -1,0 +1,12 @@
+package unittypes_test
+
+import (
+	"testing"
+
+	"tca/internal/analysis/analysistest"
+	"tca/internal/analysis/unittypes"
+)
+
+func TestUnitTypes(t *testing.T) {
+	analysistest.Run(t, "testdata", unittypes.Analyzer, "unitfix")
+}

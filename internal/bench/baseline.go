@@ -40,7 +40,7 @@ func Baseline(prm tcanet.Params) *Table {
 			US(two.Microseconds()),
 			US(pipe.Microseconds()),
 			US(conv.Microseconds()),
-			fmt.Sprintf("%.1fx", float64(conv)/float64(pipe)))
+			fmt.Sprintf("%.1fx", conv.Picoseconds()/pipe.Picoseconds()))
 	}
 	t.AddNote("paper §I: multiple memory copies via CPU memory severely degrade short-message performance")
 	t.AddNote("paper §V: TCA eliminates the PCIe→InfiniBand protocol conversion and the MPI stack")
@@ -147,7 +147,7 @@ func AblationNTB(prm tcanet.Params) *Table {
 		r.sc.Node(1).Poll(pcie.Range{Base: buf, Size: 4}, func(now sim.Time) { seen = now })
 		r.sc.Node(0).Store(dst, []byte{1, 2, 3, 4})
 		r.eng.Run()
-		t.AddRow("PEACH2 (compare-only routing)", US(units.Duration(seen).Microseconds()))
+		t.AddRow("PEACH2 (compare-only routing)", US(seen.Elapsed().Microseconds()))
 	}
 	// NTB pair.
 	{
@@ -173,7 +173,7 @@ func AblationNTB(prm tcanet.Params) *Table {
 		b.Poll(pcie.Range{Base: flag, Size: 4}, func(now sim.Time) { seen = now })
 		a.Store(win.Base+flag, []byte{1, 2, 3, 4})
 		eng.Run()
-		t.AddRow("NTB (table translation)", US(units.Duration(seen).Microseconds()))
+		t.AddRow("NTB (table translation)", US(seen.Elapsed().Microseconds()))
 	}
 	t.AddNote("§V: NTB needs address translation and couples host lifetimes (peer loss ⇒ reboot); PEACH2's ports are independent")
 	t.AddNote("NTB joins exactly two hosts; a sub-cluster needs a bridge per pair, PEACH2 needs one ring")
@@ -218,7 +218,7 @@ func AblationImmediate(prm tcanet.Params) *Table {
 		{
 			r := newRig(2, prm)
 			bw := r.measureChain(DirWrite, TargetCPU, false, size, 1)
-			tablePath = units.Duration(float64(size) / float64(bw) * 1e12)
+			tablePath = units.Duration(size.Bytes() / bw.BytesPerSec() * 1e12)
 		}
 		// Immediate: doorbell decode straight into execution.
 		var immediate units.Duration
@@ -286,7 +286,7 @@ func AblationRouting(prm tcanet.Params) *Table {
 		if seen == 0 {
 			panic("bench: routed store never arrived")
 		}
-		return units.Duration(seen).Microseconds()
+		return seen.Elapsed().Microseconds()
 	}
 	for dst := 1; dst < 8; dst++ {
 		t.AddRow(fmt.Sprintf("node %d", dst),

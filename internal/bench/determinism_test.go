@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tca/internal/tcanet"
+)
+
+// TestTraceDeterminism runs each traced scenario twice on fresh engines and
+// asserts the two runs are byte-identical: the same event sequence, the same
+// hop breakdown, the same end-to-end latency, and the same metrics snapshot.
+// This is the executable form of the invariant tcavet's simdeterminism
+// analyzer enforces statically — if a map iteration or wall-clock read
+// sneaks into the scheduling path, the serialized transcripts diverge here.
+func TestTraceDeterminism(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func() *TraceResult
+	}{
+		{"ping-pong", func() *TraceResult {
+			return TracePingPong(tcanet.DefaultParams, 4, 0, 2)
+		}},
+		{"forward-chain", func() *TraceResult {
+			return TraceForward(tcanet.DefaultParams, 8, 1, 5)
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			first := serializeTrace(t, sc.run())
+			second := serializeTrace(t, sc.run())
+			if !bytes.Equal(first, second) {
+				t.Errorf("two runs of %s produced different transcripts:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+					sc.name, firstDiff(first, second), firstDiff(second, first))
+			}
+		})
+	}
+}
+
+// serializeTrace flattens a TraceResult — spans, events, hops, latency and
+// the full metrics snapshot — into a canonical byte transcript.
+func serializeTrace(t *testing.T, res *TraceResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "scenario=%s end-to-end=%v\n", res.Scenario, res.EndToEnd)
+	for _, sp := range res.Spans {
+		fmt.Fprintf(&buf, "span txn=%d total=%v\n", sp.Txn, sp.Total)
+		for _, ev := range sp.Events {
+			fmt.Fprintf(&buf, "  event %+v\n", ev)
+		}
+		for _, hop := range sp.Hops {
+			fmt.Fprintf(&buf, "  hop %+v\n", hop)
+		}
+	}
+	if err := res.Snapshot.WriteJSON(&buf); err != nil {
+		t.Fatalf("serializing snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// firstDiff returns the line of a where the two transcripts first diverge,
+// so a failure points at the offending event rather than dumping kilobytes.
+func firstDiff(a, b []byte) []byte {
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := range la {
+		if i >= len(lb) || !bytes.Equal(la[i], lb[i]) {
+			return la[i]
+		}
+	}
+	return []byte("(transcripts identical up to length)")
+}

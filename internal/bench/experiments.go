@@ -294,7 +294,7 @@ func LatencyPIO(prm tcanet.Params) *Table {
 		lb.Node.Poll(pcie.Range{Base: flag, Size: 4}, func(now sim.Time) { seen = now })
 		lb.Node.Store(dst, []byte{1, 2, 3, 4})
 		eng.Run()
-		t.AddRow("PEACH2 PIO (2-chip loopback)", US(units.Duration(seen).Microseconds()))
+		t.AddRow("PEACH2 PIO (2-chip loopback)", US(seen.Elapsed().Microseconds()))
 	}
 
 	// PEACH2 PIO to the adjacent node on a real ring.
@@ -306,14 +306,14 @@ func LatencyPIO(prm tcanet.Params) *Table {
 		r.sc.Node(1).Poll(pcie.Range{Base: buf, Size: 4}, func(now sim.Time) { seen = now })
 		r.sc.Node(0).Store(dst, []byte{1, 2, 3, 4})
 		r.eng.Run()
-		t.AddRow("PEACH2 PIO (adjacent node on a ring)", US(units.Duration(seen).Microseconds()))
+		t.AddRow("PEACH2 PIO (adjacent node on a ring)", US(seen.Elapsed().Microseconds()))
 	}
 
 	// PEACH2 chained-DMA small message, remote (activation dominates).
 	{
 		r := newRig(2, prm)
 		bw := r.measureChain(DirWrite, TargetCPU, true, 8, 1)
-		lat := float64(8) / float64(bw) * 1e6
+		lat := 8 / bw.BytesPerSec() * 1e6
 		t.AddRow("PEACH2 DMA 8B (remote, incl. activation+IRQ)", US(lat))
 	}
 
@@ -331,7 +331,7 @@ func LatencyPIO(prm tcanet.Params) *Table {
 			panic(err)
 		}
 		eng.Run()
-		t.AddRow("InfiniBand verbs 4B", US(units.Duration(verbsAt).Microseconds()))
+		t.AddRow("InfiniBand verbs 4B", US(verbsAt.Elapsed().Microseconds()))
 		t.AddRow("InfiniBand MPI 4B", US(mpiAt.Sub(base).Microseconds()))
 	}
 

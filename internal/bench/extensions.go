@@ -70,7 +70,7 @@ func ExtCollectives(prm tcanet.Params) *Table {
 		}
 		eng.Run()
 		t.AddRow(fmt.Sprintf("%d", n),
-			US(units.Duration(barrierAt).Microseconds()),
+			US(barrierAt.Elapsed().Microseconds()),
 			US(arAt.Sub(start).Microseconds()))
 	}
 	t.AddNote("barrier: dissemination over PIO flags, ⌈log2 n⌉ rounds; allreduce: ring, 2(n-1) puts per node")
@@ -194,8 +194,8 @@ func ExtRingScaling(prm tcanet.Params) *Table {
 		if done != n {
 			panic(fmt.Sprintf("bench: %d/%d flows completed", done, n))
 		}
-		perFlow := units.Rate(total, units.Duration(last))
-		agg := units.Bandwidth(float64(perFlow) * float64(n))
+		perFlow := units.Rate(total, last.Elapsed())
+		agg := units.Bandwidth(perFlow.BytesPerSec() * float64(n))
 		single := 3.322
 		t.AddRow(fmt.Sprintf("%d", n), GB(perFlow.GBps()), GB(agg.GBps()),
 			fmt.Sprintf("%.0f%%", 100*perFlow.GBps()/single))
@@ -336,7 +336,7 @@ func ExtCollVsMPI(prm tcanet.Params) *Table {
 
 		t.AddRow(fmt.Sprintf("%d nodes × %dB chunks", cfg.n, cfg.chunkB),
 			US(tcaLat.Microseconds()), US(mpiLat.Microseconds()),
-			fmt.Sprintf("%.1fx", float64(mpiLat)/float64(tcaLat)))
+			fmt.Sprintf("%.1fx", mpiLat.Picoseconds()/tcaLat.Picoseconds()))
 	}
 	t.AddNote("identical ring schedule both sides; the difference is pure stack cost (§V)")
 	t.AddNote("TCA wins the latency-bound regime (PIO path); for multi-KiB host-to-host chunks the DMA " +

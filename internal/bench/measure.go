@@ -34,7 +34,7 @@ func MeasureLoopbackPIO(prm tcanet.Params) units.Duration {
 	if seen == 0 {
 		panic("bench: loopback write never observed")
 	}
-	return units.Duration(seen)
+	return seen.Elapsed()
 }
 
 // MeasureTCAGPU times one cross-node GPU-to-GPU MemcpyPeer in the given DMA

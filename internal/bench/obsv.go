@@ -91,7 +91,7 @@ func MeasurePIOLatency(prm tcanet.Params, n, src, dst int) units.Duration {
 	if seen == 0 {
 		panic("bench: PIO write never observed")
 	}
-	return units.Duration(seen)
+	return seen.Elapsed()
 }
 
 // TraceForward runs one traced PIO store node src → node dst across an
@@ -110,7 +110,7 @@ func TraceForward(prm tcanet.Params, n, src, dst int) *TraceResult {
 	return &TraceResult{
 		Scenario: fmt.Sprintf("forward node%d->node%d (%d-node ring)", src, dst, n),
 		Spans:    []Span{newSpan(set.Recorder(), txn)},
-		EndToEnd: units.Duration(seen),
+		EndToEnd: seen.Elapsed(),
 		Snapshot: set.Registry().Snapshot(eng.Now()),
 		Set:      set,
 	}
@@ -139,7 +139,7 @@ func TracePingPong(prm tcanet.Params, n, src, dst int) *TraceResult {
 	return &TraceResult{
 		Scenario: fmt.Sprintf("ping-pong node%d<->node%d (%d-node ring)", src, dst, n),
 		Spans:    []Span{newSpan(rec, pingTxn), newSpan(rec, pongTxn)},
-		EndToEnd: units.Duration(pongSeen),
+		EndToEnd: pongSeen.Elapsed(),
 		Snapshot: set.Registry().Snapshot(eng.Now()),
 		Set:      set,
 	}
@@ -188,7 +188,7 @@ func TraceDMA(prm tcanet.Params, size units.ByteSize, count int) *TraceResult {
 	return &TraceResult{
 		Scenario: fmt.Sprintf("block-stride DMA %d×%v (stride %v) node0->node1", count, size, units.ByteSize(stride)),
 		Spans:    []Span{newSpan(set.Recorder(), txn)},
-		EndToEnd: units.Duration(doneAt),
+		EndToEnd: doneAt.Elapsed(),
 		Snapshot: set.Registry().Snapshot(eng.Now()),
 		Set:      set,
 	}

@@ -41,7 +41,7 @@ func (t *Table) AddRow(x string, vals ...string) {
 }
 
 // AddNote appends an annotation line.
-func (t *Table) AddNote(format string, args ...interface{}) {
+func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 

@@ -68,7 +68,7 @@ func TelemetryForward(prm tcanet.Params, n, src, dst int, size units.ByteSize, c
 		Timeline: tl,
 		Snapshot: snap,
 		Report:   obsv.Attribute(snap, tl),
-		Elapsed:  units.Duration(doneAt),
+		Elapsed:  doneAt.Elapsed(),
 		Moved:    total,
 	}
 }
@@ -113,6 +113,6 @@ func TelemetryPingPong(prm tcanet.Params, n, src, dst, rounds int, interval unit
 		Timeline: tl,
 		Snapshot: snap,
 		Report:   obsv.Attribute(snap, tl),
-		Elapsed:  units.Duration(lastAt),
+		Elapsed:  lastAt.Elapsed(),
 	}
 }

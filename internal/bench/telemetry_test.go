@@ -70,8 +70,8 @@ func TestForwardPerfettoTraceValid(t *testing.T) {
 		t.Fatal(err)
 	}
 	var file struct {
-		TraceEvents     []map[string]interface{} `json:"traceEvents"`
-		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
 		t.Fatalf("exported trace is not valid JSON: %v", err)

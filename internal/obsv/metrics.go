@@ -160,12 +160,12 @@ func (d desc) key() string {
 type Registry struct {
 	mu    sync.Mutex
 	order []string
-	byKey map[string]interface{}
+	byKey map[string]any
 }
 
 // NewRegistry creates an empty enabled registry.
 func NewRegistry() *Registry {
-	return &Registry{byKey: make(map[string]interface{})}
+	return &Registry{byKey: make(map[string]any)}
 }
 
 // Counter registers (or re-fetches) a counter.
@@ -280,7 +280,7 @@ func (r *Registry) Snapshot(now sim.Time) *Snapshot {
 	}
 	r.mu.Lock()
 	keys := append([]string(nil), r.order...)
-	metrics := make([]interface{}, len(keys))
+	metrics := make([]any, len(keys))
 	for i, k := range keys {
 		metrics[i] = r.byKey[k]
 	}

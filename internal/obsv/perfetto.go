@@ -17,16 +17,16 @@ import (
 
 // TraceEvent is one Chrome trace_event entry.
 type TraceEvent struct {
-	Name string                 `json:"name"`
-	Cat  string                 `json:"cat,omitempty"`
-	Ph   string                 `json:"ph"`
-	TS   float64                `json:"ts"`
-	Dur  float64                `json:"dur,omitempty"`
-	PID  int                    `json:"pid"`
-	TID  int                    `json:"tid,omitempty"`
-	ID   string                 `json:"id,omitempty"`
-	BP   string                 `json:"bp,omitempty"`
-	Args map[string]interface{} `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // perfettoFile is the top-level JSON object.
@@ -51,7 +51,7 @@ func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
 	var out []TraceEvent
 	out = append(out, TraceEvent{
 		Name: "process_name", Ph: "M", PID: perfettoSpanPID,
-		Args: map[string]interface{}{"name": "fabric"},
+		Args: map[string]any{"name": "fabric"},
 	})
 
 	// Assign thread IDs per component in first-appearance order.
@@ -83,7 +83,7 @@ func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
 	for _, w := range names {
 		out = append(out, TraceEvent{
 			Name: "thread_name", Ph: "M", PID: perfettoSpanPID, TID: tids[w],
-			Args: map[string]interface{}{"name": w},
+			Args: map[string]any{"name": w},
 		})
 	}
 
@@ -95,7 +95,7 @@ func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
 			for _, e := range byTxn[txn] {
 				out = append(out, TraceEvent{Name: e.Stage.String(), Cat: "hop", Ph: "i",
 					TS: psToUS(int64(e.At)), PID: perfettoSpanPID, TID: tidOf(e.Where),
-					Args: map[string]interface{}{"txn": txn}})
+					Args: map[string]any{"txn": txn}})
 			}
 			continue
 		}
@@ -108,7 +108,7 @@ func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
 				Dur:  psToUS(int64(h.Dur)),
 				PID:  perfettoSpanPID,
 				TID:  tidOf(h.To.Where),
-				Args: map[string]interface{}{
+				Args: map[string]any{
 					"txn":  txn,
 					"from": h.From.Stage.String() + "@" + h.From.Where,
 					"to":   h.To.Stage.String() + "@" + h.To.Where,
@@ -145,7 +145,7 @@ func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
 	if tl != nil {
 		out = append(out, TraceEvent{
 			Name: "process_name", Ph: "M", PID: perfettoCounterPID,
-			Args: map[string]interface{}{"name": "telemetry"},
+			Args: map[string]any{"name": "telemetry"},
 		})
 		for _, s := range tl.Series() {
 			name := s.ID() + " (" + s.Unit + ")"
@@ -153,7 +153,7 @@ func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
 				out = append(out, TraceEvent{
 					Name: name, Cat: "telemetry", Ph: "C",
 					TS: psToUS(int64(sm.At)), PID: perfettoCounterPID,
-					Args: map[string]interface{}{"value": sm.V},
+					Args: map[string]any{"value": sm.V},
 				})
 			}
 		}

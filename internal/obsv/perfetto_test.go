@@ -37,8 +37,8 @@ func TestWritePerfettoSchema(t *testing.T) {
 	}
 
 	var file struct {
-		TraceEvents     []map[string]interface{} `json:"traceEvents"`
-		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
@@ -76,7 +76,7 @@ func TestWritePerfettoSchema(t *testing.T) {
 			flowsF++
 		case "C":
 			counters++
-			args, _ := ev["args"].(map[string]interface{})
+			args, _ := ev["args"].(map[string]any)
 			if _, ok := args["value"].(float64); !ok {
 				t.Errorf("counter without numeric args.value: %v", ev)
 			}
@@ -127,11 +127,11 @@ func TestPerfettoEmpty(t *testing.T) {
 	if err := WritePerfetto(&buf, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	var file map[string]interface{}
+	var file map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if _, ok := file["traceEvents"].([]interface{}); !ok {
+	if _, ok := file["traceEvents"].([]any); !ok {
 		t.Error("traceEvents missing or not an array")
 	}
 }

@@ -59,12 +59,12 @@ type AddressMap struct {
 
 type mapEntry struct {
 	r      Range
-	target interface{}
+	target any
 }
 
 // Add registers target for window r. It returns an error if r is empty or
 // overlaps an existing window.
-func (m *AddressMap) Add(r Range, target interface{}) error {
+func (m *AddressMap) Add(r Range, target any) error {
 	if r.Size == 0 {
 		return fmt.Errorf("pcie: empty address range %v", r)
 	}
@@ -83,15 +83,15 @@ func (m *AddressMap) Add(r Range, target interface{}) error {
 
 // MustAdd is Add for static topologies built at simulation setup, where an
 // overlap is a programming error.
-func (m *AddressMap) MustAdd(r Range, target interface{}) {
+func (m *AddressMap) MustAdd(r Range, target any) {
 	if err := m.Add(r, target); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("pcie: MustAdd: %v", err))
 	}
 }
 
 // Lookup returns the target whose window contains a, or (nil, Range{},
 // false) when the address is unmapped.
-func (m *AddressMap) Lookup(a Addr) (interface{}, Range, bool) {
+func (m *AddressMap) Lookup(a Addr) (any, Range, bool) {
 	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].r.End() > a })
 	if i < len(m.entries) && m.entries[i].r.Contains(a) {
 		return m.entries[i].target, m.entries[i].r, true
@@ -101,7 +101,7 @@ func (m *AddressMap) Lookup(a Addr) (interface{}, Range, bool) {
 
 // LookupRange returns the target whose window fully contains r. Transfers
 // that straddle windows are split by callers before lookup.
-func (m *AddressMap) LookupRange(r Range) (interface{}, Range, bool) {
+func (m *AddressMap) LookupRange(r Range) (any, Range, bool) {
 	t, w, ok := m.Lookup(r.Base)
 	if !ok || !w.ContainsRange(r) {
 		return nil, Range{}, false

@@ -90,7 +90,7 @@ func TestAddressMapLookup(t *testing.T) {
 
 	cases := []struct {
 		a    Addr
-		want interface{}
+		want any
 		ok   bool
 	}{
 		{0x0, "c", true},

@@ -110,8 +110,8 @@ func (c LinkConfig) EffectiveBandwidth(maxPayload units.ByteSize) units.Bandwidt
 	if maxPayload <= 0 {
 		panic(fmt.Sprintf("pcie: non-positive max payload %d", maxPayload))
 	}
-	frac := float64(maxPayload) / float64(maxPayload+TLPOverhead)
-	return units.Bandwidth(float64(c.RawBandwidth()) * frac)
+	frac := maxPayload.Bytes() / (maxPayload + TLPOverhead).Bytes()
+	return units.Bandwidth(c.RawBandwidth().BytesPerSec() * frac)
 }
 
 // Role distinguishes the two ends of a PCIe link. A link must join exactly

@@ -178,7 +178,7 @@ func Connect(eng *sim.Engine, a, b *Port, params LinkParams) (*Link, error) {
 func MustConnect(eng *sim.Engine, a, b *Port, params LinkParams) *Link {
 	l, err := Connect(eng, a, b, params)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("pcie: MustConnect: %v", err))
 	}
 	return l
 }

@@ -73,7 +73,7 @@ func (s *Switch) AddDownstream(label string, w Range) (*Port, error) {
 func (s *Switch) MustAddDownstream(label string, w Range) *Port {
 	p, err := s.AddDownstream(label, w)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("switch %s: MustAddDownstream: %v", s.name, err))
 	}
 	return p
 }

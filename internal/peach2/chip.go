@@ -195,7 +195,7 @@ func (c *Chip) SetIRQHandler(fn func(now sim.Time)) { c.onIRQ = fn }
 // Instrument records the same path as typed, transaction-scoped events.
 func (c *Chip) SetTracer(fn func(now sim.Time, what string)) { c.tracer = fn }
 
-func (c *Chip) trace(now sim.Time, format string, args ...interface{}) {
+func (c *Chip) trace(now sim.Time, format string, args ...any) {
 	if c.tracer != nil {
 		c.tracer(now, fmt.Sprintf(format, args...))
 	}
@@ -263,7 +263,7 @@ func (c *Chip) route(a pcie.Addr) (PortID, error) {
 		}
 	}
 	c.cm.routeMiss.Inc()
-	return 0, fmt.Errorf("peach2 %s: no route for %v", c.name, a)
+	return 0, fmt.Errorf("no route for %v", a)
 }
 
 // convertN translates a global own-window address to the local bus address
@@ -302,7 +302,7 @@ func (c *Chip) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Duration {
 	case pcie.MRd:
 		dst, err := c.route(t.Addr)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("peach2 %s: MRd: %v", c.name, err))
 		}
 		if dst != PortN && dst != PortInternal {
 			// §III-F: "memory access to a remote node is restricted
@@ -320,7 +320,7 @@ func (c *Chip) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Duration {
 	case pcie.MWr:
 		dst, err := c.route(t.Addr)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("peach2 %s: MWr: %v", c.name, err))
 		}
 		switch dst {
 		case PortInternal:
@@ -437,7 +437,7 @@ func (c *Chip) sendFlushAck(req pcie.DeviceID, txn uint64) {
 	c.cm.acksSent.Inc()
 	dst, err := c.route(ack.Addr)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("peach2 %s: flush ack: %v", c.name, err))
 	}
 	if dst == PortInternal {
 		// Only possible if a chip acks itself — a plan bug.

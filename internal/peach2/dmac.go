@@ -150,13 +150,13 @@ type DMAC struct {
 	// busyAccum is the cumulative busy time of completed chains; the
 	// telemetry probe adds the running chain's partial time on top, so
 	// the windowed busy fraction is exact at any tick.
-	busyAccum  units.Duration
-	mChains    *obsv.Counter
-	mTLPs      *obsv.Counter
-	mReads     *obsv.Counter
-	mBusyPS    *obsv.Counter
-	mQueue     *obsv.Gauge
-	mChainLat  *obsv.Histogram
+	busyAccum units.Duration
+	mChains   *obsv.Counter
+	mTLPs     *obsv.Counter
+	mReads    *obsv.Counter
+	mBusyPS   *obsv.Counter
+	mQueue    *obsv.Gauge
+	mChainLat *obsv.Histogram
 }
 
 // instrument registers the DMAC's metrics under "<chip>/dmac".
@@ -513,7 +513,7 @@ func (d *DMAC) issueWriteData(addr pcie.Addr, data []byte, relaxed bool) {
 func (d *DMAC) sendFromDMAC(t *pcie.TLP) {
 	out, err := d.chip.route(t.Addr)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("peach2 %s: DMA issue: %v", d.chip.name, err))
 	}
 	switch out {
 	case PortInternal:
@@ -580,7 +580,7 @@ func (d *DMAC) pumpReads() {
 		req := d.readQueue[0]
 		out, err := d.chip.route(req.tlp.Addr)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("peach2 %s: DMA read: %v", d.chip.name, err))
 		}
 		if out != PortN {
 			panic(fmt.Sprintf("peach2 %s: DMA read from %v is not local — RDMA put only", d.chip.name, req.tlp.Addr))

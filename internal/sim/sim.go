@@ -25,6 +25,11 @@ func (t Time) Add(d units.Duration) Time { return t + Time(d) }
 // Sub returns the duration elapsed from earlier to t.
 func (t Time) Sub(earlier Time) units.Duration { return units.Duration(t - earlier) }
 
+// Elapsed returns the time as a duration since simulation start (time
+// zero) — the blessed conversion from an absolute timestamp to a span,
+// enforced by the unittypes analyzer in place of raw casts.
+func (t Time) Elapsed() units.Duration { return units.Duration(t) }
+
 // String formats the timestamp like a duration since time zero.
 func (t Time) String() string { return units.Duration(t).String() }
 
@@ -46,9 +51,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]

@@ -65,7 +65,7 @@ func NewPlan(n int) (Plan, error) {
 func MustPlan(n int) Plan {
 	p, err := NewPlan(n)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("tcanet: MustPlan(%d): %v", n, err))
 	}
 	return p
 }

@@ -54,6 +54,11 @@ func (b ByteSize) String() string {
 	}
 }
 
+// Bytes reports the size as a floating-point byte count — the blessed
+// escape hatch into float math for ratios and derived rates, enforced by
+// the unittypes analyzer in place of raw float64 casts.
+func (b ByteSize) Bytes() float64 { return float64(b) }
+
 // Bandwidth is a transfer rate in bytes per second.
 type Bandwidth float64
 
@@ -80,6 +85,11 @@ func (bw Bandwidth) String() string {
 	}
 }
 
+// BytesPerSec reports the rate as floating-point bytes per second — the
+// blessed escape hatch into float math, enforced by the unittypes
+// analyzer in place of raw float64 casts.
+func (bw Bandwidth) BytesPerSec() float64 { return float64(bw) }
+
 // GBps reports the bandwidth in decimal gigabytes per second.
 func (bw Bandwidth) GBps() float64 { return float64(bw) / 1e9 }
 
@@ -98,6 +108,11 @@ const (
 	Millisecond          = 1000 * Microsecond
 	Second               = 1000 * Millisecond
 )
+
+// Picoseconds reports the duration as a floating-point picosecond count —
+// the blessed escape hatch into float math for ratios and telemetry,
+// enforced by the unittypes analyzer in place of raw float64 casts.
+func (d Duration) Picoseconds() float64 { return float64(d) }
 
 // Nanoseconds reports the duration as a floating-point nanosecond count.
 func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }

@@ -27,7 +27,6 @@ import (
 	"tca/internal/core"
 	"tca/internal/sim"
 	"tca/internal/tcanet"
-	"tca/internal/units"
 )
 
 // Cluster is a running TCA sub-cluster: the nodes, their PEACH2 chips, the
@@ -93,7 +92,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 func (c *Cluster) Nodes() int { return c.sc.Nodes() }
 
 // Now reports the simulated time since construction.
-func (c *Cluster) Now() Duration { return units.Duration(c.eng.Now()) }
+func (c *Cluster) Now() Duration { return c.eng.Now().Elapsed() }
 
 // Run drains all pending simulated work and returns the clock.
 func (c *Cluster) Run() Duration {
@@ -212,5 +211,5 @@ func wrap(done func(at Duration)) func(sim.Time) {
 	if done == nil {
 		return nil
 	}
-	return func(now sim.Time) { done(units.Duration(now)) }
+	return func(now sim.Time) { done(now.Elapsed()) }
 }
