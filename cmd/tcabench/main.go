@@ -8,6 +8,7 @@
 //	tcabench -metrics table      # dump an instrumented run's metrics snapshot
 //	tcabench -bench-json BENCH_PR2.json   # write the headline-number baseline
 //	tcabench -perfetto trace.json         # spans + telemetry counters for ui.perfetto.dev
+//	tcabench -fault linkdown:1e:12us -seed 7   # fault ping-pong + injector counters
 package main
 
 import (
@@ -39,6 +40,8 @@ func main() {
 		metrics  = flag.String("metrics", "", "run an instrumented demo workload and dump its metrics snapshot (table | json | prom)")
 		benchOut = flag.String("bench-json", "", "measure the headline figures and write the JSON baseline to this path")
 		perfetto = flag.String("perfetto", "", "run the sampled forward-DMA demo and write a Chrome trace_event file to this path")
+		faultStr = flag.String("fault", "", "run the fault ping-pong (4-node ring, 0<->2, 10 rounds) under this scenario spec and dump the injector counters")
+		seed     = flag.Int64("seed", 1, "fault injector seed (with -fault)")
 	)
 	flag.Parse()
 
@@ -95,6 +98,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tcabench: unknown -metrics format %q\n", *metrics)
 			os.Exit(2)
 		}
+		return
+	}
+
+	if *faultStr != "" {
+		res, err := bench.TracePingPongFault(tcanet.DefaultParams, 4, 0, 2, 10, *faultStr, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcabench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scenario: %s\nend-to-end: %v\nspans: %d (all payloads verified byte-identical)\n\nmetrics:\n",
+			res.Scenario, res.EndToEnd, len(res.Spans))
+		res.Snapshot.WriteTable(os.Stdout)
 		return
 	}
 

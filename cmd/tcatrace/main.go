@@ -7,6 +7,7 @@
 //	tcatrace -scenario forward -nodes 8 -dst 3 -events
 //	tcatrace -scenario dma -size 4096 -count 8 -metrics json
 //	tcatrace -scenario pingpong -perfetto trace.json   # open in ui.perfetto.dev
+//	tcatrace -scenario pingpong -fault linkdown:1e:12us -seed 7 -rounds 10
 package main
 
 import (
@@ -31,6 +32,9 @@ func main() {
 		metrics  = flag.String("metrics", "table", "metrics snapshot format: table | json | prom | none")
 		events   = flag.Bool("events", false, "also dump each span's raw events")
 		perfetto = flag.String("perfetto", "", "write the spans as a Chrome trace_event file to this path")
+		faultStr = flag.String("fault", "", "fault scenario spec, e.g. linkdown:1e:12us or ber:1e-7,drop:0.01 (pingpong only)")
+		seed     = flag.Int64("seed", 1, "fault injector seed (with -fault)")
+		rounds   = flag.Int("rounds", 10, "ping-pong rounds (with -fault)")
 	)
 	flag.Parse()
 
@@ -49,10 +53,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *faultStr != "" && *scenario != "pingpong" {
+		fmt.Fprintf(os.Stderr, "tcatrace: -fault is only supported for -scenario pingpong (got %q)\n", *scenario)
+		os.Exit(2)
+	}
+
 	prm := tcanet.DefaultParams
 	var tr *bench.TraceResult
 	switch *scenario {
 	case "pingpong":
+		if *faultStr != "" {
+			var err error
+			tr, err = bench.TracePingPongFault(prm, *nodes, *src, *dst, *rounds, *faultStr, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tcatrace:", err)
+				os.Exit(1)
+			}
+			break
+		}
 		tr = bench.TracePingPong(prm, *nodes, *src, *dst)
 	case "forward":
 		tr = bench.TraceForward(prm, *nodes, *src, *dst)

@@ -1,10 +1,12 @@
-// Package nilprobe pins the zero-cost disabled observability path. The
-// nil Sampler / Series / Timeline is the *disabled* instrument: an
-// uninstrumented fabric passes nil receivers through every probe call,
-// and PR 2's benchmarks pinned that path as allocation-free. That only
-// holds while every exported method on those types starts with a
-// nil-receiver guard — one missing guard turns the disabled path into a
-// nil-pointer crash on the first uninstrumented run.
+// Package nilprobe pins the zero-cost disabled paths. The nil
+// Sampler / Series / Timeline is the *disabled* instrument, and the nil
+// fault.Injector is the *perfect* fabric: an uninstrumented or
+// fault-free run passes nil receivers through every probe and injection
+// call, and PR 2's benchmarks pinned those paths as allocation-free and
+// byte-identical to the baselines. That only holds while every exported
+// method on those types starts with a nil-receiver guard — one missing
+// guard turns the disabled path into a nil-pointer crash on the first
+// uninstrumented run.
 package nilprobe
 
 import (
@@ -15,29 +17,33 @@ import (
 	"tca/internal/analysis/framework"
 )
 
-// Analyzer flags exported pointer-receiver methods on obsv's probe,
-// sampler and series types that do not open with a nil-receiver guard.
+// Analyzer flags exported pointer-receiver methods on nil-means-disabled
+// types that do not open with a nil-receiver guard.
 var Analyzer = &framework.Analyzer{
 	Name: "nilprobe",
-	Doc: `require nil-receiver guards on obsv probe/sampler/series methods
+	Doc: `require nil-receiver guards on nil-means-disabled types
 
-The nil value of Sampler, Series and Timeline (and any *Probe type) is
-the disabled instrument; exported methods must begin with
-"if r == nil { ... }" so disabled telemetry stays a zero-alloc no-op
-instead of a crash.`,
+The nil value of obsv's Sampler, Series and Timeline (and any *Probe
+type) is the disabled instrument, and the nil fault.Injector is the
+perfect fabric; exported methods must begin with "if r == nil { ... }"
+so the disabled path stays a zero-alloc no-op instead of a crash.`,
 	Run: run,
 }
 
-// guardedTypes lists the obsv receiver types whose nil value means
-// "telemetry disabled".
-var guardedTypes = map[string]bool{
-	"Sampler": true, "Series": true, "Timeline": true,
+// guardedPkgs maps each audited package to the receiver types whose nil
+// value means "disabled". In obsv, any *Probe-suffixed type is guarded
+// too.
+var guardedPkgs = map[string]map[string]bool{
+	"obsv":  {"Sampler": true, "Series": true, "Timeline": true},
+	"fault": {"Injector": true},
 }
 
 func run(pass *framework.Pass) error {
-	if pass.Pkg.Name() != "obsv" {
+	guarded, ok := guardedPkgs[pass.Pkg.Name()]
+	if !ok {
 		return nil
 	}
+	probeSuffix := pass.Pkg.Name() == "obsv"
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -45,7 +51,7 @@ func run(pass *framework.Pass) error {
 				continue
 			}
 			recvName, typeName, ok := pointerReceiver(fn)
-			if !ok || !(guardedTypes[typeName] || strings.HasSuffix(typeName, "Probe")) {
+			if !ok || !(guarded[typeName] || probeSuffix && strings.HasSuffix(typeName, "Probe")) {
 				continue
 			}
 			if recvName == "" || recvName == "_" {

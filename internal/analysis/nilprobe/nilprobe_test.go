@@ -8,5 +8,5 @@ import (
 )
 
 func TestNilProbe(t *testing.T) {
-	analysistest.Run(t, "testdata", nilprobe.Analyzer, "obsv")
+	analysistest.Run(t, "testdata", nilprobe.Analyzer, "obsv", "fault")
 }

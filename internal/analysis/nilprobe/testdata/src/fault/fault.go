@@ -1,0 +1,50 @@
+// Package fault exercises the nilprobe analyzer's fault rules: the nil
+// Injector is the perfect fabric and every exported method must no-op
+// (or answer "no fault") on it.
+package fault
+
+type Injector struct {
+	enabled bool
+	drops   uint64
+}
+
+// Enabled guards first: ok.
+func (j *Injector) Enabled() bool {
+	if j == nil {
+		return false
+	}
+	return j.enabled
+}
+
+// DropTLP guards in a disjunction: ok.
+func (j *Injector) DropTLP() bool {
+	if j == nil || !j.enabled {
+		return false
+	}
+	j.drops++
+	return true
+}
+
+func (j *Injector) Drops() uint64 { // want `must begin with .if j == nil.`
+	return j.drops
+}
+
+func (j *Injector) NoteReplay() { // want `must begin with .if j == nil.`
+	j.drops++
+}
+
+// draw is unexported: internal callers already hold a non-nil receiver.
+func (j *Injector) draw() bool { // ok
+	return j.enabled
+}
+
+// Profile is a value type: copies cannot be the disabled injector.
+type Profile struct{ Seed int64 }
+
+func (p Profile) Zero() bool { return p.Seed == 0 } // ok: value receiver
+
+// Counts is not in the guarded list for fault: pointer methods on it are
+// not required to guard.
+type Counts struct{ n uint64 }
+
+func (c *Counts) Total() uint64 { return c.n } // ok: unguarded type

@@ -140,7 +140,7 @@ func TestSpecTables(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
+	if len(all) != 21 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := map[string]bool{}

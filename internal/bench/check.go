@@ -202,6 +202,7 @@ func All() []Experiment {
 		{"ExtLatencyBudget", "PIO loopback latency decomposition (extension)", ExtLatencyBudget, nil},
 		{"ExtCollVsMPI", "Allreduce: TCA vs MPI-over-IB (extension)", ExtCollVsMPI, nil},
 		{"ExtLatencyDist", "PIO latency distribution with p95/p99 tails (extension)", ExtLatencyDist, nil},
+		{"ExtDegradedRing", "Healthy ring vs 1-cut degraded line latency (extension)", ExtDegradedRing, CheckDegradedRing},
 	}
 }
 

@@ -25,6 +25,24 @@ func TestTraceDeterminism(t *testing.T) {
 		{"forward-chain", func() *TraceResult {
 			return TraceForward(tcanet.DefaultParams, 8, 1, 5)
 		}},
+		// Fault scenarios must be just as reproducible: the injector's rand
+		// stream is seeded and consumed only at schedule-determined points,
+		// so a mid-run link cut, DLL replays, and a live failover replay
+		// byte-identically — the acceptance criterion for `-fault`.
+		{"fault-linkdown-failover", func() *TraceResult {
+			res, err := TracePingPongFault(tcanet.DefaultParams, 4, 0, 2, 10, "linkdown:1e:12us", 7)
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}},
+		{"fault-lossy-cable", func() *TraceResult {
+			res, err := TracePingPongFault(tcanet.DefaultParams, 4, 0, 1, 6, "corrupt:0.2,drop:0.05", 42)
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {

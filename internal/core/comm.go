@@ -65,6 +65,12 @@ type driver struct {
 	queue    []chainReq
 	current  func(now sim.Time)
 
+	// lastErr is the chain error the chip reported at the most recent
+	// completion interrupt (nil for a clean chain) — an aborted chain still
+	// raises the IRQ, so the driver learns about timeouts and stuck
+	// descriptors here instead of hanging.
+	lastErr error
+
 	// Observability (nil when the sub-cluster is uninstrumented). The
 	// driver closes a traced chain's span with StageChainDone when its
 	// completion callback runs — the last hop of a Fig. 9-style DMA
@@ -165,6 +171,7 @@ func (d *driver) start(req chainReq) {
 }
 
 func (d *driver) onIRQ(now sim.Time) {
+	d.lastErr = d.chip.DMAC().LastChainError()
 	if d.rec != nil {
 		if txn := d.chip.DMAC().LastChainTxn(); txn != 0 {
 			d.rec.Record(obsv.Event{At: now, Txn: txn, Stage: obsv.StageChainDone,
@@ -195,6 +202,13 @@ func le64(v uint64) []byte {
 	}
 	return b
 }
+
+// ChainError reports the error the most recently completed chain on node's
+// chip aborted with, or nil if it finished cleanly. Under fault injection a
+// chain can die on a completion-timeout retry budget, a stuck descriptor,
+// or the chain watchdog; the completion interrupt still fires (with the
+// error latched) so callers poll this instead of deadlocking.
+func (c *Comm) ChainError(node int) error { return c.driverOf(node).lastErr }
 
 // PIOPut stores data into a global TCA address from node's CPU — the
 // mmap-and-store communication of §III-F1. Data beyond one TLP payload is

@@ -1,0 +1,158 @@
+package fault
+
+import (
+	"testing"
+
+	"tca/internal/obsv"
+	"tca/internal/sim"
+	"tca/internal/units"
+)
+
+// TestNilInjectorIsDisabled: the nil injector must be a complete no-op so
+// fault-free builds keep the legacy schedule.
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var j *Injector
+	if j.Enabled() {
+		t.Fatal("nil injector reports Enabled")
+	}
+	if j.LinkDown("0e", sim.Time(0)) || j.CorruptTLP(256) || j.DropTLP() ||
+		j.LoseCompletion() || j.StuckDescriptor(0) {
+		t.Fatal("nil injector injected a fault")
+	}
+	j.NoteReplay()
+	j.NoteReplayExhausted()
+	j.NoteLinkDead()
+	j.NoteFailover()
+	j.NoteReadRetry()
+	j.NoteChainError()
+	j.Instrument(nil)
+	if j.Counts() != (Counts{}) {
+		t.Fatal("nil injector counted something")
+	}
+}
+
+// TestLinkDownWindows: window matching is by name and [At, At+For), with
+// For == 0 meaning permanent.
+func TestLinkDownWindows(t *testing.T) {
+	j := New(Profile{Down: []DownWindow{
+		{Link: "2e", At: 10 * units.Microsecond, For: 5 * units.Microsecond},
+		{Link: "0s", At: 3 * units.Microsecond}, // permanent
+	}})
+	at := func(d units.Duration) sim.Time { return sim.Time(0).Add(d) }
+	if j.LinkDown("2e", at(9*units.Microsecond)) {
+		t.Fatal("down before window start")
+	}
+	if !j.LinkDown("2e", at(10*units.Microsecond)) {
+		t.Fatal("up at window start")
+	}
+	if !j.LinkDown("2e", at(14*units.Microsecond)) {
+		t.Fatal("up inside window")
+	}
+	if j.LinkDown("2e", at(15*units.Microsecond)) {
+		t.Fatal("down at window end (half-open)")
+	}
+	if j.LinkDown("1e", at(12*units.Microsecond)) {
+		t.Fatal("wrong link down")
+	}
+	if !j.LinkDown("0s", at(1*units.Millisecond)) {
+		t.Fatal("permanent cut recovered")
+	}
+}
+
+// TestSeededDrawsAreDeterministic: two injectors with the same profile
+// make identical decisions.
+func TestSeededDrawsAreDeterministic(t *testing.T) {
+	prof := Profile{Seed: 7, Drop: 0.3, LoseCpl: 0.2, BER: 1e-6}
+	a, b := New(prof), New(prof)
+	for i := 0; i < 200; i++ {
+		if a.DropTLP() != b.DropTLP() {
+			t.Fatalf("DropTLP diverged at draw %d", i)
+		}
+		if a.CorruptTLP(300) != b.CorruptTLP(300) {
+			t.Fatalf("CorruptTLP diverged at draw %d", i)
+		}
+		if a.LoseCompletion() != b.LoseCompletion() {
+			t.Fatalf("LoseCompletion diverged at draw %d", i)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+	if a.Counts().TLPsDropped == 0 {
+		t.Fatal("drop rate 0.3 never dropped in 200 draws")
+	}
+}
+
+// TestStuckDescriptor wedges exactly the configured index.
+func TestStuckDescriptor(t *testing.T) {
+	j := New(Profile{Stuck: true, StuckIndex: 2})
+	if j.StuckDescriptor(0) || j.StuckDescriptor(1) || j.StuckDescriptor(3) {
+		t.Fatal("wedged the wrong descriptor")
+	}
+	if !j.StuckDescriptor(2) {
+		t.Fatal("configured descriptor not wedged")
+	}
+	if got := j.Counts().StuckDescs; got != 1 {
+		t.Fatalf("StuckDescs = %d, want 1", got)
+	}
+	// The zero Profile must not wedge descriptor 0.
+	if New(Profile{}).StuckDescriptor(0) {
+		t.Fatal("zero profile wedged descriptor 0")
+	}
+}
+
+// TestInstrumentCounters: Note* hooks feed the fault.* metrics the
+// acceptance criteria key on.
+func TestInstrumentCounters(t *testing.T) {
+	set := obsv.NewSet(16)
+	j := New(Profile{})
+	j.Instrument(set)
+	j.NoteLinkDead()
+	j.NoteReplay()
+	j.NoteReplay()
+	j.NoteFailover()
+	snap := set.Registry().Snapshot(sim.Time(0))
+	for name, want := range map[string]uint64{
+		"fault.link_down": 1,
+		"fault.replays":   2,
+		"fault.failovers": 1,
+	} {
+		got, ok := snap.Counter(name, "injector")
+		if !ok || got != want {
+			t.Fatalf("%s = %d (ok=%v), want %d", name, got, ok, want)
+		}
+	}
+}
+
+// TestParseScenario covers the clause grammar.
+func TestParseScenario(t *testing.T) {
+	prof, err := ParseScenario("linkdown:2e:50us,ber:1e-7,drop:0.01,losecpl:0.5,stuck:3,corrupt:0.2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Seed != 7 || prof.BER != 1e-7 || prof.Drop != 0.01 ||
+		prof.LoseCpl != 0.5 || prof.Corrupt != 0.2 || !prof.Stuck || prof.StuckIndex != 3 {
+		t.Fatalf("bad profile: %+v", prof)
+	}
+	if len(prof.Down) != 1 || prof.Down[0].Link != "2e" ||
+		prof.Down[0].At != 50*units.Microsecond || prof.Down[0].For != 0 {
+		t.Fatalf("bad down window: %+v", prof.Down)
+	}
+
+	prof, err = ParseScenario("linkdown:0s:1ms:250ns", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Down[0].At != units.Millisecond || prof.Down[0].For != 250*units.Nanosecond {
+		t.Fatalf("bad bounded window: %+v", prof.Down[0])
+	}
+
+	for _, bad := range []string{
+		"", "linkdown:2e", "linkdown:2e:50", "linkdown:2e:50us:0us",
+		"ber:2", "drop:-0.1", "stuck:x", "stuck:-1", "flap:2e", "ber",
+	} {
+		if _, err := ParseScenario(bad, 0); err == nil {
+			t.Fatalf("ParseScenario(%q) accepted", bad)
+		}
+	}
+}

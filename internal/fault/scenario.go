@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tca/internal/units"
+)
+
+// ParseScenario builds a Profile from the CLI's compact scenario syntax:
+// comma-separated clauses, each `kind:args`. The seed is supplied
+// separately (the -seed flag) so the same scenario can be replayed under
+// different random streams.
+//
+//	linkdown:<link>:<at>[:<dur>]   cut cable <link> at <at>, forever or for <dur>
+//	ber:<rate>                     per-bit error rate on DLL frames
+//	drop:<p>                       per-TLP silent-drop probability
+//	corrupt:<p>                    per-TLP LCRC-failure probability
+//	losecpl:<p>                    per-read lost-completion probability
+//	stuck:<idx>                    wedge descriptor <idx> of every DMA chain
+//
+// Durations take ps/ns/us/ms/s suffixes. Example:
+//
+//	linkdown:2e:50us,ber:1e-7
+func ParseScenario(spec string, seed int64) (Profile, error) {
+	prof := Profile{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return Profile{}, fmt.Errorf("fault: empty scenario")
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		parts := strings.Split(clause, ":")
+		kind := parts[0]
+		args := parts[1:]
+		switch kind {
+		case "linkdown":
+			if len(args) < 2 || len(args) > 3 {
+				return Profile{}, fmt.Errorf("fault: %q wants linkdown:<link>:<at>[:<dur>]", clause)
+			}
+			at, err := parseDuration(args[1])
+			if err != nil {
+				return Profile{}, fmt.Errorf("fault: %q: %v", clause, err)
+			}
+			w := DownWindow{Link: args[0], At: at}
+			if len(args) == 3 {
+				if w.For, err = parseDuration(args[2]); err != nil {
+					return Profile{}, fmt.Errorf("fault: %q: %v", clause, err)
+				}
+				if w.For <= 0 {
+					return Profile{}, fmt.Errorf("fault: %q: outage length must be positive", clause)
+				}
+			}
+			prof.Down = append(prof.Down, w)
+		case "ber", "drop", "corrupt", "losecpl":
+			if len(args) != 1 {
+				return Profile{}, fmt.Errorf("fault: %q wants %s:<probability>", clause, kind)
+			}
+			p, err := strconv.ParseFloat(args[0], 64)
+			if err != nil || p < 0 || p > 1 {
+				return Profile{}, fmt.Errorf("fault: %q: probability must be in [0, 1]", clause)
+			}
+			switch kind {
+			case "ber":
+				prof.BER = p
+			case "drop":
+				prof.Drop = p
+			case "corrupt":
+				prof.Corrupt = p
+			case "losecpl":
+				prof.LoseCpl = p
+			}
+		case "stuck":
+			if len(args) != 1 {
+				return Profile{}, fmt.Errorf("fault: %q wants stuck:<descriptor-index>", clause)
+			}
+			idx, err := strconv.Atoi(args[0])
+			if err != nil || idx < 0 {
+				return Profile{}, fmt.Errorf("fault: %q: descriptor index must be a non-negative integer", clause)
+			}
+			prof.Stuck = true
+			prof.StuckIndex = idx
+		default:
+			return Profile{}, fmt.Errorf("fault: unknown scenario clause %q (want linkdown/ber/drop/corrupt/losecpl/stuck)", clause)
+		}
+	}
+	return prof, nil
+}
+
+// durationSuffixes maps scenario-duration suffixes to their unit. Ordered
+// longest-match-first so "ns" is not parsed as the "s" suffix.
+var durationSuffixes = []struct {
+	suffix string
+	unit   units.Duration
+}{
+	{"ps", units.Picosecond},
+	{"ns", units.Nanosecond},
+	{"us", units.Microsecond},
+	{"ms", units.Millisecond},
+	{"s", units.Second},
+}
+
+func parseDuration(s string) (units.Duration, error) {
+	for _, su := range durationSuffixes {
+		if !strings.HasSuffix(s, su.suffix) {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, su.suffix), 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad duration %q", s)
+		}
+		return units.Duration(v * su.unit.Picoseconds()), nil
+	}
+	return 0, fmt.Errorf("duration %q needs a ps/ns/us/ms/s suffix", s)
+}

@@ -9,6 +9,7 @@ package host
 import (
 	"fmt"
 
+	"tca/internal/fault"
 	"tca/internal/gpu"
 	"tca/internal/memory"
 	"tca/internal/obsv"
@@ -188,6 +189,10 @@ func (n *Node) AllocDeviceID() pcie.DeviceID {
 
 // Engine returns the simulation engine (the TSC reads n.Engine().Now()).
 func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// AttachFaults connects the node's root complex to a fault injector so it
+// can lose read completions. A nil injector (the default) changes nothing.
+func (n *Node) AttachFaults(inj *fault.Injector) { n.rc.faults = inj }
 
 // ID reports the node's index.
 func (n *Node) ID() int { return n.id }

@@ -3,6 +3,7 @@ package host
 import (
 	"fmt"
 
+	"tca/internal/fault"
 	"tca/internal/memory"
 	"tca/internal/obsv"
 	"tca/internal/pcie"
@@ -24,6 +25,9 @@ type RootComplex struct {
 	sockWin [2][]pcie.Range
 	qpiSer  sim.Serializer
 	watches []rcWatch
+
+	// faults injects lost read completions (nil on a perfect fabric).
+	faults *fault.Injector
 
 	// Stats
 	dramWrites uint64
@@ -161,6 +165,11 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 			if rc.rec != nil && t.Txn != 0 {
 				rc.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageHostRead,
 					Where: rc.DevName(), Addr: uint64(t.Addr)})
+			}
+			if rc.faults.LoseCompletion() {
+				// The read is accepted but its completion never leaves:
+				// the requester's completion timeout must recover.
+				return 0
 			}
 			rc.outstanding++
 			req := *t

@@ -45,6 +45,21 @@ const (
 	StageIRQ
 	// StageChainDone: the driver's completion callback ran.
 	StageChainDone
+	// StageReplay: a link's data-link layer retransmitted the packet
+	// (replay-timeout or NAK-triggered go-back-N).
+	StageReplay
+	// StageLinkDown: the packet was stranded on a dead link and parked by
+	// its chip for rerouting.
+	StageLinkDown
+	// StageFailover: a parked packet was re-injected through reprogrammed
+	// route registers after the management plane degraded the ring.
+	StageFailover
+	// StageReadRetry: the DMAC retransmitted a read whose completion
+	// timed out.
+	StageReadRetry
+	// StageChainError: the DMAC aborted its chain and surfaced an error
+	// instead of completing.
+	StageChainError
 )
 
 // String names the stage.
@@ -80,6 +95,16 @@ func (s Stage) String() string {
 		return "irq"
 	case StageChainDone:
 		return "chain-done"
+	case StageReplay:
+		return "dll-replay"
+	case StageLinkDown:
+		return "link-down"
+	case StageFailover:
+		return "failover"
+	case StageReadRetry:
+		return "read-retry"
+	case StageChainError:
+		return "chain-error"
 	default:
 		return fmt.Sprintf("Stage(%d)", int(s))
 	}

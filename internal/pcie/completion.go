@@ -79,6 +79,25 @@ func (t *TagTable) HandleCompletion(c *TLP) error {
 	return nil
 }
 
+// CancelAll abandons every outstanding read without running its callback
+// and returns the tags to the free pool — the requester's error path when
+// a chain is aborted. It returns how many reads were cancelled. Tags are
+// scanned in numeric order so the free list (and therefore every later
+// allocation) stays deterministic.
+func (t *TagTable) CancelAll() int {
+	n := 0
+	for i := 0; i < 256; i++ {
+		tag := uint8(i)
+		if _, ok := t.pending[tag]; !ok {
+			continue
+		}
+		delete(t.pending, tag)
+		t.free = append(t.free, tag)
+		n++
+	}
+	return n
+}
+
 // Outstanding reports the number of reads in flight.
 func (t *TagTable) Outstanding() int { return len(t.pending) }
 

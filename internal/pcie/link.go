@@ -127,6 +127,10 @@ type Link struct {
 	tlpsSent  [2]uint64
 	bytesSent [2]units.ByteSize
 
+	// dll is the optional data-link layer (see dll.go). Nil means the
+	// original lossless fast path — same events, same schedule.
+	dll *dll
+
 	// Observability (nil when disabled — all updates are no-ops then).
 	obsName  string
 	rec      *obsv.Recorder
@@ -261,20 +265,29 @@ func (l *Link) send(now sim.Time, from *Port, t *TLP) {
 		panic(fmt.Sprintf("pcie: invalid TLP on %v: %v", from, err))
 	}
 	d, di := l.dir(from)
+	if l.dll != nil && l.dll.dirs[di].dead {
+		l.divertDead(now, di, t)
+		return
+	}
 	l.tlpsSent[di]++
 	l.bytesSent[di] += t.WireBytes()
 	l.mTLPs[di].Inc()
 	l.mBytes[di].Add(uint64(t.WireBytes()))
-	if d.inFlight >= l.params.CreditTLPs {
+	if d.inFlight >= l.params.CreditTLPs || l.dllBufFull(di) {
 		l.mStalled[di].Inc()
 		d.waiting = append(d.waiting, t)
 		return
 	}
-	l.transmit(now, d, t)
+	l.transmit(now, d, di, t)
 }
 
-// transmit reserves wire time and schedules delivery.
-func (l *Link) transmit(now sim.Time, d *linkDir, t *TLP) {
+// transmit reserves wire time and schedules delivery. With a DLL the
+// frame is sequenced through the replay buffer instead.
+func (l *Link) transmit(now sim.Time, d *linkDir, di int, t *TLP) {
+	if l.dll != nil {
+		l.dllTransmit(now, d, di, t)
+		return
+	}
 	d.inFlight++
 	ser := units.TimeToSend(t.WireBytes(), l.params.Config.RawBandwidth())
 	start := d.wire.Reserve(now, ser)
@@ -294,15 +307,26 @@ func (l *Link) transmit(now sim.Time, d *linkDir, t *TLP) {
 			if d.inFlight < 0 {
 				panic("pcie: credit underflow")
 			}
-			if len(d.waiting) > 0 && d.inFlight < l.params.CreditTLPs {
-				next := d.waiting[0]
-				copy(d.waiting, d.waiting[1:])
-				d.waiting[len(d.waiting)-1] = nil
-				d.waiting = d.waiting[:len(d.waiting)-1]
-				l.transmit(l.eng.Now(), d, next)
-			}
+			l.pump(l.eng.Now(), d, di)
 		})
 	})
+}
+
+// pump moves queued TLPs onto the wire as capacity frees up. Without a
+// DLL exactly one packet is pumped per credit release (the original
+// schedule); with one, a cumulative ACK can release several replay-buffer
+// slots at once, so pump loops until a limit binds again.
+func (l *Link) pump(now sim.Time, d *linkDir, di int) {
+	for len(d.waiting) > 0 && d.inFlight < l.params.CreditTLPs && !l.dllBufFull(di) {
+		next := d.waiting[0]
+		copy(d.waiting, d.waiting[1:])
+		d.waiting[len(d.waiting)-1] = nil
+		d.waiting = d.waiting[:len(d.waiting)-1]
+		l.transmit(now, d, di, next)
+		if l.dll == nil {
+			return
+		}
+	}
 }
 
 // InFlight reports the occupied credit slots in the direction out of from.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"tca/internal/fault"
 	"tca/internal/memory"
 	"tca/internal/obsv"
 	"tca/internal/pcie"
@@ -34,6 +35,14 @@ type Chip struct {
 
 	onIRQ  func(now sim.Time)
 	tracer func(now sim.Time, what string)
+
+	// Fault machinery (faults nil on a perfect fabric — every consult is
+	// then a nil-receiver no-op and no recovery timer is ever scheduled).
+	faults   *fault.Injector
+	portDead [4]bool
+	// parked holds TLPs stranded by a dead egress link, in arrival order,
+	// until a route reprogram re-injects them (flushParked).
+	parked []*pcie.TLP
 
 	// Stats
 	forwarded [numPorts]uint64 // by egress
@@ -189,6 +198,82 @@ func (c *Chip) IntMemGlobal(off uint64) pcie.Addr {
 // SetIRQHandler registers the driver's completion interrupt handler.
 func (c *Chip) SetIRQHandler(fn func(now sim.Time)) { c.onIRQ = fn }
 
+// AttachFaults connects the chip to a fault injector, arming the DMAC's
+// recovery timers (completion timeout, chain watchdog). A nil injector —
+// the default — leaves the chip on the exact pre-fault event schedule.
+func (c *Chip) AttachFaults(inj *fault.Injector) { c.faults = inj }
+
+// Faults returns the attached injector (nil on a perfect fabric).
+func (c *Chip) Faults() *fault.Injector { return c.faults }
+
+// PortUp reports whether a physical port is connected and its link alive —
+// what the NIOS health scan and the status register report.
+func (c *Chip) PortUp(id PortID) bool {
+	return c.Port(id).Connected() && !c.portDead[id]
+}
+
+// LinkDead is the dead-link notification from a port's data-link layer:
+// the cable out of port id exhausted its replay budget. The chip marks the
+// egress dead, parks the salvaged in-flight TLPs for rerouting, and tells
+// the management controller, which may reprogram routes (failover).
+func (c *Chip) LinkDead(now sim.Time, id PortID, salvaged []*pcie.TLP) {
+	first := !c.portDead[id]
+	c.portDead[id] = true
+	for _, t := range salvaged {
+		c.parkTLP(now, t)
+	}
+	if first {
+		c.nios.linkDead(now, id)
+	}
+}
+
+// parkTLP strands one TLP on the chip until a route reprogram re-injects
+// it.
+func (c *Chip) parkTLP(now sim.Time, t *pcie.TLP) {
+	c.parked = append(c.parked, t)
+	if c.rec != nil && t.Txn != 0 {
+		c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageLinkDown,
+			Where: c.name, Addr: uint64(t.Addr)})
+	}
+}
+
+// Parked reports how many TLPs wait for a reroute.
+func (c *Chip) Parked() int { return len(c.parked) }
+
+// flushParked re-injects every parked TLP through the (just reprogrammed)
+// routing unit. Packets whose new route is still dead re-park; packets
+// with no route are dropped with a management-log entry — the fabric
+// equivalent of an unreachable destination after degradation.
+func (c *Chip) flushParked() {
+	if len(c.parked) == 0 {
+		return
+	}
+	batch := c.parked
+	c.parked = nil
+	c.eng.After(0, func() {
+		now := c.eng.Now()
+		for _, t := range batch {
+			if c.rec != nil && t.Txn != 0 {
+				c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageFailover,
+					Where: c.name, Addr: uint64(t.Addr)})
+			}
+			dst, err := c.route(t.Addr)
+			if err != nil {
+				c.nios.logEvent(fmt.Sprintf("dropped parked packet for %v: no route after failover", t.Addr))
+				continue
+			}
+			switch dst {
+			case PortInternal:
+				c.acceptInternalWrite(now, t)
+			case PortN:
+				c.forwardN(now, t)
+			default:
+				c.forwardRing(now, t, dst)
+			}
+		}
+	})
+}
+
 // SetTracer installs a packet-event tracer (nil disables).
 //
 // Deprecated: the free-form string hook predates the obsv span layer;
@@ -239,6 +324,7 @@ func (c *Chip) SetRoutes(rules []RouteRule) {
 	}
 	copy(c.regRoute[:], rules)
 	c.rules = append(c.rules[:0], rules...)
+	c.flushParked()
 }
 
 // Routes returns the active rules.
@@ -339,8 +425,13 @@ func (c *Chip) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Duration {
 	}
 }
 
-// forwardRing relays a packet toward another node.
+// forwardRing relays a packet toward another node. A packet routed at a
+// dead egress parks for the failover reroute instead.
 func (c *Chip) forwardRing(now sim.Time, t *pcie.TLP, out PortID) {
+	if c.portDead[out] {
+		c.parkTLP(now, t)
+		return
+	}
 	if !c.ports[out].Connected() {
 		panic(fmt.Sprintf("peach2 %s: route to unconnected port %v for %v", c.name, out, t.Addr))
 	}

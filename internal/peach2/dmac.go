@@ -135,6 +135,16 @@ type DMAC struct {
 	waitAck         bool
 	ackSeen         bool
 
+	// Fault recovery. chainGen invalidates every callback scheduled for a
+	// chain that has since been aborted (it only advances on doorbell and
+	// failChain, so healthy runs never observe a mismatch). stuck marks a
+	// chain with a wedged descriptor: it can never complete and must be
+	// reaped by the watchdog.
+	chainGen uint64
+	lastErr  error
+	errs     uint64
+	stuck    bool
+
 	// Stats.
 	chains     uint64
 	tlpsIssued uint64
@@ -155,6 +165,7 @@ type DMAC struct {
 	mTLPs     *obsv.Counter
 	mReads    *obsv.Counter
 	mBusyPS   *obsv.Counter
+	mErrs     *obsv.Counter
 	mQueue    *obsv.Gauge
 	mChainLat *obsv.Histogram
 }
@@ -167,6 +178,7 @@ func (d *DMAC) instrument(set *obsv.Set) {
 	d.mTLPs = reg.Counter("dma_write_tlps", name)
 	d.mReads = reg.Counter("dma_reads_sent", name)
 	d.mBusyPS = reg.Counter("dma_busy_ps", name)
+	d.mErrs = reg.Counter("dma_chain_errors", name)
 	d.mQueue = reg.Gauge("dma_read_queue_depth", name)
 	d.mChainLat = reg.Histogram("dma_chain_latency", name, nil)
 	d.registerProbes(set.Sampler(), name)
@@ -234,6 +246,8 @@ func (d *DMAC) start(now sim.Time, tableAddr pcie.Addr, count int) {
 	}
 	d.resetChain()
 	d.state = dmacFetching
+	d.chainGen++
+	d.armWatchdog()
 	d.beginTxn(now, tableAddr)
 	total := units.ByteSize(count) * DescriptorBytes
 	table := make([]byte, total)
@@ -264,8 +278,26 @@ func (d *DMAC) StartImmediate(now sim.Time, desc Descriptor) {
 	}
 	d.resetChain()
 	d.state = dmacRunning
+	d.chainGen++
+	d.armWatchdog()
 	d.beginTxn(now, pcie.Addr(desc.Dst))
 	d.runChain([]Descriptor{desc})
+}
+
+// armWatchdog schedules the whole-chain timeout. Gated on fault injection:
+// a perfect fabric never needs it, and not scheduling the event keeps
+// fault-free runs on the exact pre-fault schedule.
+func (d *DMAC) armWatchdog() {
+	if !d.chip.faults.Enabled() {
+		return
+	}
+	gen := d.chainGen
+	d.chip.eng.After(d.chip.params.DMA.chainTimeout(), func() {
+		if gen != d.chainGen || d.state == dmacIdle {
+			return
+		}
+		d.failChain(fmt.Errorf("chain watchdog fired after %v", d.chip.params.DMA.chainTimeout()))
+	})
 }
 
 // beginTxn opens a new traced chain: allocates its transaction ID and
@@ -289,6 +321,8 @@ func (d *DMAC) resetChain() {
 	d.allGenerated = false
 	d.waitAck = false
 	d.ackSeen = false
+	d.lastErr = nil
+	d.stuck = false
 }
 
 func (d *DMAC) parseAndRun(table []byte, count int) {
@@ -338,9 +372,26 @@ func (d *DMAC) runChain(descs []Descriptor) {
 		maxPayload = d.chip.ports[PortN].Link().Params().MaxPayload
 	}
 
+	// Injected stuck descriptors: the hardwired sequencer hangs on the
+	// wedged entry, so its work is never generated and the chain can only
+	// be reaped by the watchdog.
+	var stuck []bool
+	if d.chip.faults.Enabled() {
+		stuck = make([]bool, len(descs))
+		for i := range descs {
+			if d.chip.faults.StuckDescriptor(i) {
+				stuck[i] = true
+				d.stuck = true
+			}
+		}
+	}
+
 	// Count all write TLPs up front so the final one can carry the
 	// chain's Last/Flush marking at issue time.
-	for _, desc := range descs {
+	for i, desc := range descs {
+		if stuck != nil && stuck[i] {
+			continue
+		}
 		switch desc.Kind {
 		case DescWrite:
 			d.totalWriteTLPs += splitCount(pcie.Addr(desc.Dst), desc.Len, maxPayload)
@@ -353,7 +404,10 @@ func (d *DMAC) runChain(descs []Descriptor) {
 	}
 	d.waitAck = d.chainNeedsFlush(descs)
 
-	for _, desc := range descs {
+	for i, desc := range descs {
+		if stuck != nil && stuck[i] {
+			continue
+		}
 		switch desc.Kind {
 		case DescWrite:
 			d.generateWrite(desc, maxPayload)
@@ -443,7 +497,11 @@ func (d *DMAC) issueWrite(addr pcie.Addr, srcOff uint64, n units.ByteSize, relax
 	d.issuesPending++
 	dur := d.issueSlotDur(n)
 	slot := d.issue.Reserve(d.chip.eng.Now(), dur)
+	gen := d.chainGen
 	d.chip.eng.At(slot.Add(dur), func() {
+		if gen != d.chainGen {
+			return // chain aborted since this slot was reserved
+		}
 		data, err := d.chip.intMem.ReadBytes(srcOff, n)
 		if err != nil {
 			panic(fmt.Sprintf("peach2 %s: DMA write source: %v", d.chip.name, err))
@@ -487,7 +545,11 @@ func (d *DMAC) issueWriteData(addr pcie.Addr, data []byte, relaxed bool) {
 	d.issuesPending++
 	dur := d.issueSlotDur(units.ByteSize(len(data)))
 	slot := d.issue.Reserve(d.chip.eng.Now(), dur)
+	gen := d.chainGen
 	d.chip.eng.At(slot.Add(dur), func() {
+		if gen != d.chainGen {
+			return // chain aborted since this slot was reserved
+		}
 		d.writeTLPsIssued++
 		d.issuesPending--
 		d.tlpsIssued++
@@ -531,6 +593,10 @@ func (d *DMAC) sendFromDMAC(t *pcie.TLP) {
 		d.chip.cm.bytesOut[PortN].Add(uint64(c.WireBytes()))
 		d.chip.ports[PortN].Send(d.chip.eng.Now(), &c)
 	default:
+		if d.chip.portDead[out] {
+			d.chip.parkTLP(d.chip.eng.Now(), t)
+			return
+		}
 		d.chip.forwarded[out]++
 		d.chip.cm.tlpsOut[out].Inc()
 		d.chip.cm.bytesOut[out].Add(uint64(t.WireBytes()))
@@ -586,7 +652,9 @@ func (d *DMAC) pumpReads() {
 			panic(fmt.Sprintf("peach2 %s: DMA read from %v is not local — RDMA put only", d.chip.name, req.tlp.Addr))
 		}
 		onData := req.onData
+		st := &readState{}
 		tag, ok := d.tags.Alloc(req.tlp.ReadLen, func(data []byte) {
+			st.done = true
 			d.readsPending--
 			onData(data)
 			d.pumpReads()
@@ -605,17 +673,100 @@ func (d *DMAC) pumpReads() {
 		mrd.Tag = tag
 		mrd.Requester = d.chip.id
 		mrd.Txn = d.txn
+		gen := d.chainGen
 		slot := d.readIssue.Reserve(d.chip.eng.Now(), d.chip.params.DMA.IssueInterval)
 		d.chip.eng.At(slot.Add(d.chip.params.DMA.IssueInterval), func() {
+			if gen != d.chainGen {
+				return // chain aborted since this slot was reserved
+			}
 			d.chip.ports[PortN].Send(d.chip.eng.Now(), &mrd)
+			d.armReadTimeout(&mrd, st, 0, gen)
 		})
 	}
 }
 
+// readState marks one read's completion so its timeout can stand down.
+type readState struct{ done bool }
+
+// armReadTimeout schedules the completion timeout for one outstanding
+// read: each expiry retransmits the request with exponential backoff until
+// the retry budget runs out, then the whole chain is aborted with an
+// error. Gated on fault injection so fault-free runs schedule nothing.
+func (d *DMAC) armReadTimeout(mrd *pcie.TLP, st *readState, attempt int, gen uint64) {
+	if !d.chip.faults.Enabled() {
+		return
+	}
+	timeout := d.chip.params.DMA.cplTimeout() << uint(attempt)
+	d.chip.eng.After(timeout, func() {
+		if st.done || gen != d.chainGen || d.state == dmacIdle {
+			return
+		}
+		if attempt >= d.chip.params.DMA.cplRetries() {
+			d.failChain(fmt.Errorf("read %v (tag %d) lost: no completion after %d retries", mrd.Addr, mrd.Tag, attempt))
+			return
+		}
+		d.chip.faults.NoteReadRetry()
+		if d.txn != 0 {
+			d.chip.rec.Record(obsv.Event{At: d.chip.eng.Now(), Txn: d.txn,
+				Stage: obsv.StageReadRetry, Where: d.chip.name, Addr: uint64(mrd.Addr),
+				Note: fmt.Sprintf("attempt %d", attempt+1)})
+		}
+		retry := *mrd
+		d.chip.ports[PortN].Send(d.chip.eng.Now(), &retry)
+		d.armReadTimeout(mrd, st, attempt+1, gen)
+	})
+}
+
+// failChain aborts the running chain: outstanding reads are cancelled,
+// queued work is discarded, stale callbacks are invalidated through
+// chainGen, and the error is surfaced to the driver (LastChainError, the
+// status register) alongside the completion IRQ — instead of hanging the
+// DMAC forever as the paper's error-free model would.
+func (d *DMAC) failChain(err error) {
+	if d.state == dmacIdle {
+		return
+	}
+	d.chip.faults.NoteChainError()
+	d.errs++
+	d.mErrs.Inc()
+	d.lastErr = fmt.Errorf("peach2 %s: %v", d.chip.name, err)
+	d.chip.nios.logEvent(fmt.Sprintf("dmac chain aborted: %v", err))
+	if d.txn != 0 {
+		d.chip.rec.Record(obsv.Event{At: d.chip.eng.Now(), Txn: d.txn,
+			Stage: obsv.StageChainError, Where: d.chip.name, Note: err.Error()})
+	}
+	d.tags.CancelAll()
+	d.readQueue = d.readQueue[:0]
+	d.mQueue.Set(0)
+	d.readsPending = 0
+	d.issuesPending = 0
+	d.state = dmacIdle
+	d.chainGen++
+	busy := d.chip.eng.Now().Sub(d.chainStart)
+	d.busyAccum += busy
+	d.mBusyPS.Add(uint64(busy))
+	d.lastTxn = d.txn
+	d.txn = 0
+	d.chip.raiseIRQ(d.lastTxn)
+}
+
+// LastChainError reports the most recent chain's error (nil after a clean
+// completion — resetChain clears it at the next doorbell).
+func (d *DMAC) LastChainError() error { return d.lastErr }
+
+// ChainErrors reports how many chains have been aborted.
+func (d *DMAC) ChainErrors() uint64 { return d.errs }
+
 // handleCompletion feeds a completion arriving on Port N into the tag
-// table.
+// table. Under fault injection a completion can legitimately miss — its
+// read was cancelled by failChain, or a retry raced the original reply —
+// so mismatches are logged and dropped instead of treated as fabric bugs.
 func (d *DMAC) handleCompletion(t *pcie.TLP) {
 	if err := d.tags.HandleCompletion(t); err != nil {
+		if d.chip.faults.Enabled() {
+			d.chip.nios.logEvent(fmt.Sprintf("dropped stale completion: %v", err))
+			return
+		}
 		panic(fmt.Sprintf("peach2 %s: %v", d.chip.name, err))
 	}
 }
@@ -633,6 +784,9 @@ func (d *DMAC) handleAck(now sim.Time) {
 func (d *DMAC) maybeComplete() {
 	if d.state != dmacRunning || !d.allGenerated {
 		return
+	}
+	if d.stuck {
+		return // a wedged descriptor never finishes; the watchdog reaps it
 	}
 	if d.issuesPending > 0 || d.readsPending > 0 || len(d.readQueue) > 0 {
 		return

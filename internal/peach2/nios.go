@@ -23,6 +23,12 @@ type NIOS struct {
 	lastUp    [4]bool
 	events    []Event
 	maxEvents int
+
+	// onDeadLink fires when a port's data-link layer declares its cable
+	// dead (replay exhaustion) — the hook the failover controller uses to
+	// reprogram routes mid-run.
+	onDeadLink func(now sim.Time, port PortID)
+	failovers  uint64
 }
 
 // Event is one management-log entry.
@@ -38,6 +44,7 @@ type Status struct {
 	Forwarded [numPorts]uint64
 	DMAChains uint64
 	Events    int
+	Failovers uint64
 }
 
 func newNIOS(c *Chip) *NIOS {
@@ -66,7 +73,7 @@ func (n *NIOS) scan() {
 	}
 	n.scans++
 	for p := PortN; p <= PortS; p++ {
-		up := n.chip.ports[p].Connected()
+		up := n.chip.PortUp(p)
 		if up != n.lastUp[p] {
 			n.logEvent(fmt.Sprintf("port %v link %s", p, linkWord(up)))
 			n.lastUp[p] = up
@@ -74,6 +81,38 @@ func (n *NIOS) scan() {
 	}
 	n.chip.eng.After(n.interval, n.scan)
 }
+
+// linkDead is the chip's dead-link notification: log it and hand it to the
+// failover controller. Unlike the periodic scan this fires exactly at the
+// replay-exhaustion instant — the health monitor's fast path.
+func (n *NIOS) linkDead(now sim.Time, port PortID) {
+	n.logEvent(fmt.Sprintf("port %v link dead (replay exhausted)", port))
+	n.lastUp[port] = false
+	if n.onDeadLink != nil {
+		n.onDeadLink(now, port)
+	}
+}
+
+// SetDeadLinkHandler registers the failover controller's callback.
+func (n *NIOS) SetDeadLinkHandler(fn func(now sim.Time, port PortID)) {
+	n.onDeadLink = fn
+}
+
+// NoteFailover records a completed route reprogram around a cut link.
+func (n *NIOS) NoteFailover(cut int) {
+	n.failovers++
+	n.logEvent(fmt.Sprintf("failover: routes reprogrammed around cut ring link %d", cut))
+}
+
+// NoteFailoverAbort records a failover that could not be computed (for
+// example the avoidance rules overflow the route registers); traffic for
+// the unreachable nodes is left to the host/IB fallback path.
+func (n *NIOS) NoteFailoverAbort(err error) {
+	n.logEvent(fmt.Sprintf("failover aborted: %v", err))
+}
+
+// Failovers reports how many reroutes this controller completed.
+func (n *NIOS) Failovers() uint64 { return n.failovers }
 
 func linkWord(up bool) string {
 	if up {
@@ -95,11 +134,12 @@ func (n *NIOS) Status() Status {
 	var s Status
 	s.Scans = n.scans
 	for p := PortN; p <= PortS; p++ {
-		s.PortUp[p] = n.chip.ports[p].Connected()
+		s.PortUp[p] = n.chip.PortUp(p)
 	}
 	s.Forwarded = n.chip.forwarded
 	s.DMAChains = n.chip.dmac.chains
 	s.Events = len(n.events)
+	s.Failovers = n.failovers
 	return s
 }
 
@@ -110,7 +150,7 @@ func (n *NIOS) Events() []Event { return append([]Event(nil), n.events...) }
 func (n *NIOS) statusWord() uint64 {
 	var w uint64
 	for p := PortN; p <= PortS; p++ {
-		if n.chip.ports[p].Connected() {
+		if n.chip.PortUp(p) {
 			w |= 1 << uint(p)
 		}
 	}

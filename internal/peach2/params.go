@@ -119,6 +119,52 @@ type DMAParams struct {
 	// acknowledging a flushed chain aimed at strictly-ordered host
 	// memory.
 	HostFlushDelay units.Duration
+	// CplTimeout is how long the DMAC waits for a read completion before
+	// retransmitting the request; each retry doubles it. Zero means
+	// DefaultCplTimeout. Only armed when fault injection is attached —
+	// the paper's perfect fabric never loses a completion.
+	CplTimeout units.Duration
+	// CplRetries bounds read retransmissions before the chain is aborted
+	// with an error. Zero means DefaultCplRetries.
+	CplRetries int
+	// ChainTimeout is the whole-chain watchdog: a chain that has not
+	// completed after this long is aborted and its error surfaced through
+	// the status register instead of hanging the DMAC forever. Zero means
+	// DefaultChainTimeout. Only armed when fault injection is attached.
+	ChainTimeout units.Duration
+}
+
+// Recovery-timer defaults: a completion timeout far above any healthy read
+// round trip, the conventional handful of retries, and a chain watchdog
+// generous enough for multi-megabyte chains.
+const (
+	DefaultCplTimeout   = 20 * units.Microsecond
+	DefaultCplRetries   = 3
+	DefaultChainTimeout = 2 * units.Millisecond
+)
+
+// cplTimeout returns the configured or default completion timeout.
+func (p DMAParams) cplTimeout() units.Duration {
+	if p.CplTimeout > 0 {
+		return p.CplTimeout
+	}
+	return DefaultCplTimeout
+}
+
+// cplRetries returns the configured or default retry budget.
+func (p DMAParams) cplRetries() int {
+	if p.CplRetries > 0 {
+		return p.CplRetries
+	}
+	return DefaultCplRetries
+}
+
+// chainTimeout returns the configured or default chain watchdog.
+func (p DMAParams) chainTimeout() units.Duration {
+	if p.ChainTimeout > 0 {
+		return p.ChainTimeout
+	}
+	return DefaultChainTimeout
 }
 
 // DefaultParams reproduces the paper's PEACH2 (logic version 20121112).

@@ -9,12 +9,18 @@ import (
 )
 
 func TestRingRoutesAvoidingNeverUsesCutLink(t *testing.T) {
-	for _, n := range []int{3, 4, 8, 16} {
+	// n=2 is the degenerate ring (the cut leaves exactly one cable); every
+	// cut position also exercises cuts adjacent to the source on both sides.
+	for _, n := range []int{2, 3, 4, 8, 16} {
 		p := MustPlan(n)
 		for cut := 0; cut < n; cut++ {
 			rules := map[int][]peach2.RouteRule{}
 			for i := 0; i < n; i++ {
-				rules[i] = p.RingRoutesAvoiding(i, cut)
+				var err error
+				rules[i], err = p.RingRoutesAvoiding(i, cut)
+				if err != nil {
+					t.Fatalf("n=%d cut=%d node=%d: %v", n, cut, i, err)
+				}
 			}
 			next := func(i int, out peach2.PortID) int {
 				switch out {
@@ -69,7 +75,9 @@ func TestRerouteAvoidingCutKeepsTrafficFlowing(t *testing.T) {
 	// Before the cut, node0 → node1 goes east over link 0→1.
 	before := sc.Chip(0).Stats().Forwarded[peach2.PortE]
 	// Management plane reroutes around a dead 0→1 cable.
-	sc.RerouteAvoidingCut(0)
+	if err := sc.RerouteAvoidingCut(0); err != nil {
+		t.Fatal(err)
+	}
 	buf, _ := sc.Node(1).AllocDMABuffer(64)
 	dst, _ := sc.GlobalHostAddr(1, buf)
 	sc.Node(0).Store(dst, []byte{7})

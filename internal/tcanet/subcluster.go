@@ -3,6 +3,7 @@ package tcanet
 import (
 	"fmt"
 
+	"tca/internal/fault"
 	"tca/internal/host"
 	"tca/internal/obsv"
 	"tca/internal/pcie"
@@ -51,6 +52,17 @@ type SubCluster struct {
 	nodes []*host.Node
 	chips []*peach2.Chip
 	obs   *obsv.Set
+
+	// ringSize is the number of chips per E/W ring (n for BuildRing, k for
+	// BuildDualRing); dualRing marks the Port-S-coupled topology. Both
+	// drive failover's ring-scoped rerouting.
+	ringSize int
+	dualRing bool
+
+	// Fault plumbing (nil/empty on a perfect fabric): the injector wired by
+	// InjectFaults and the set of ring links already failed over.
+	inj     *fault.Injector
+	cutDone map[int]bool
 }
 
 // Instrument attaches the whole sub-cluster to an observability set: every
@@ -116,6 +128,7 @@ func BuildRing(eng *sim.Engine, n int, prm Params) (*SubCluster, error) {
 	for i := 0; i < n; i++ {
 		sc.chips[i].SetRoutes(sc.plan.RingRoutes(i))
 	}
+	sc.ringSize = n
 	return sc, nil
 }
 
@@ -165,6 +178,8 @@ func BuildDualRing(eng *sim.Engine, k int, prm Params) (*SubCluster, error) {
 		rules = append(rules, sc.ringArcRoutes(i, ring*k, k)...)
 		sc.chips[i].SetRoutes(rules)
 	}
+	sc.ringSize = k
+	sc.dualRing = true
 	return sc, nil
 }
 
