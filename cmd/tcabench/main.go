@@ -7,6 +7,9 @@
 //	tcabench -exp all -check     # also apply the shape checks
 //	tcabench -metrics table      # dump an instrumented run's metrics snapshot
 //	tcabench -bench-json BENCH_PR2.json   # write the headline-number baseline
+//	tcabench -perf-json BENCH_PERF.json   # write the engine-performance baseline
+//	tcabench -prof pingpong               # events/sec headline + top components by host time
+//	tcabench -prof pingpong -cpuprofile cpu.pprof -memprofile heap.pprof
 //	tcabench -perfetto trace.json         # spans + telemetry counters for ui.perfetto.dev
 //	tcabench -fault linkdown:1e:12us -seed 7   # fault ping-pong + injector counters
 package main
@@ -20,6 +23,7 @@ import (
 
 	"tca/internal/bench"
 	"tca/internal/obsv"
+	"tca/internal/prof"
 	"tca/internal/tcanet"
 	"tca/internal/units"
 )
@@ -30,6 +34,12 @@ func durToSim(d time.Duration) units.Duration {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command so pprof outputs flush on every exit path
+// (os.Exit would skip the CPU-profile stop and heap snapshot).
+func run() int {
 	var (
 		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 		list     = flag.Bool("list", false, "list available experiments and exit")
@@ -39,17 +49,47 @@ func main() {
 		parallel = flag.Bool("parallel", false, "run experiments concurrently (identical results; each owns its engine)")
 		metrics  = flag.String("metrics", "", "run an instrumented demo workload and dump its metrics snapshot (table | json | prom)")
 		benchOut = flag.String("bench-json", "", "measure the headline figures and write the JSON baseline to this path")
+		perfOut  = flag.String("perf-json", "", "measure the engine-performance scenarios on a bare engine and write the JSON baseline to this path")
+		profSc   = flag.String("prof", "", "profile an engine scenario (pingpong | forward | chain_dma | all): events/sec headline plus the top components by host time")
+		profTop  = flag.Int("prof-top", 12, "component rows shown by -prof")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU pprof profile covering the run to this path")
+		memProf  = flag.String("memprofile", "", "write an allocs pprof profile taken after the run to this path")
 		perfetto = flag.String("perfetto", "", "run the sampled forward-DMA demo and write a Chrome trace_event file to this path")
 		faultStr = flag.String("fault", "", "run the fault ping-pong (4-node ring, 0<->2, 10 rounds) under this scenario spec and dump the injector counters")
 		seed     = flag.Int64("seed", 1, "fault injector seed (with -fault)")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		stop, err := prof.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcabench:", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "tcabench:", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := prof.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "tcabench:", err)
+			}
+		}()
+	}
+
+	prm := tcanet.DefaultParams
+	if *cable > 0 {
+		prm.CableProp = durToSim(*cable)
+	}
+
 	if *benchOut != "" {
 		f, err := os.Create(*benchOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcabench:", err)
-			os.Exit(1)
+			return 1
 		}
 		werr := bench.CollectBaseline(tcanet.DefaultParams).WriteJSON(f)
 		if cerr := f.Close(); werr == nil {
@@ -57,18 +97,67 @@ func main() {
 		}
 		if werr != nil {
 			fmt.Fprintln(os.Stderr, "tcabench:", werr)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("baseline written: %s\n", *benchOut)
-		return
+		return 0
+	}
+
+	if *perfOut != "" {
+		f, err := os.Create(*perfOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcabench:", err)
+			return 1
+		}
+		werr := bench.CollectPerfBaseline(tcanet.DefaultParams).WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "tcabench:", werr)
+			return 1
+		}
+		fmt.Printf("perf baseline written: %s\n", *perfOut)
+		return 0
+	}
+
+	if *profSc != "" {
+		names := []string{*profSc}
+		if strings.EqualFold(*profSc, "all") {
+			names = bench.PerfScenarioNames
+		}
+		for i, name := range names {
+			known := false
+			for _, n := range bench.PerfScenarioNames {
+				known = known || n == name
+			}
+			if !known {
+				fmt.Fprintf(os.Stderr, "tcabench: unknown -prof scenario %q (have %s, all)\n",
+					name, strings.Join(bench.PerfScenarioNames, ", "))
+				return 2
+			}
+			// Component pprof labels only pay off when a CPU profile is
+			// being taken; they cost a goroutine-label swap per event.
+			p := prof.New(prof.Options{LabelComponents: *cpuProf != ""})
+			st := bench.RunPerfScenario(name, prm, p)
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Println(st.Headline())
+			p.WriteTable(os.Stdout, *profTop)
+		}
+		return 0
 	}
 
 	if *perfetto != "" {
-		res := bench.TelemetryForward(tcanet.DefaultParams, 4, 0, 2, 4096, 64, units.Microsecond)
+		// Run profiled so the trace carries the engine's cumulative
+		// host-time counter track next to the fabric telemetry.
+		res := bench.TelemetryForwardProfiled(tcanet.DefaultParams, 4, 0, 2, 4096, 64, units.Microsecond,
+			prof.New(prof.Options{}))
 		f, err := os.Create(*perfetto)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcabench:", err)
-			os.Exit(1)
+			return 1
 		}
 		werr := obsv.WritePerfetto(f, res.Set.Recorder().Events(), res.Timeline)
 		if cerr := f.Close(); werr == nil {
@@ -76,10 +165,10 @@ func main() {
 		}
 		if werr != nil {
 			fmt.Fprintln(os.Stderr, "tcabench:", werr)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("scenario: %s\nperfetto trace: %s (open in ui.perfetto.dev)\n", res.Scenario, *perfetto)
-		return
+		return 0
 	}
 
 	if *metrics != "" {
@@ -90,39 +179,34 @@ func main() {
 		case "json":
 			if err := snap.WriteJSON(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "tcabench:", err)
-				os.Exit(1)
+				return 1
 			}
 		case "prom":
 			snap.WritePrometheus(os.Stdout)
 		default:
 			fmt.Fprintf(os.Stderr, "tcabench: unknown -metrics format %q\n", *metrics)
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	if *faultStr != "" {
 		res, err := bench.TracePingPongFault(tcanet.DefaultParams, 4, 0, 2, 10, *faultStr, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tcabench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("scenario: %s\nend-to-end: %v\nspans: %d (all payloads verified byte-identical)\n\nmetrics:\n",
 			res.Scenario, res.EndToEnd, len(res.Spans))
 		res.Snapshot.WriteTable(os.Stdout)
-		return
+		return 0
 	}
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("  %-18s %s\n", e.ID, e.Desc)
 		}
-		return
-	}
-
-	prm := tcanet.DefaultParams
-	if *cable > 0 {
-		prm.CableProp = durToSim(*cable)
+		return 0
 	}
 
 	var selected []bench.Experiment
@@ -133,7 +217,7 @@ func main() {
 			e, ok := bench.Find(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -168,6 +252,7 @@ func main() {
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

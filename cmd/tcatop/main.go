@@ -16,6 +16,7 @@ import (
 
 	"tca/internal/bench"
 	"tca/internal/obsv"
+	"tca/internal/prof"
 	"tca/internal/tcanet"
 	"tca/internal/units"
 )
@@ -32,6 +33,7 @@ func main() {
 		interval = flag.Float64("interval", 1, "sampling interval in simulated µs")
 		top      = flag.Int("top", 8, "number of hottest series columns to print")
 		rows     = flag.Int("rows", 20, "maximum table rows (sampling ticks are strided to fit)")
+		profile  = flag.Bool("prof", false, "attach the engine self-profiler: close with the events/sec headline and the components ranked by host time")
 	)
 	flag.Parse()
 
@@ -50,12 +52,16 @@ func main() {
 	iv := units.Duration(*interval * float64(units.Microsecond))
 
 	prm := tcanet.DefaultParams
+	var p *prof.Profiler
+	if *profile {
+		p = prof.New(prof.Options{})
+	}
 	var res *bench.TelemetryResult
 	switch *scenario {
 	case "forward":
-		res = bench.TelemetryForward(prm, *nodes, *src, *dst, units.ByteSize(*size), *count, iv)
+		res = bench.TelemetryForwardProfiled(prm, *nodes, *src, *dst, units.ByteSize(*size), *count, iv, p)
 	case "pingpong":
-		res = bench.TelemetryPingPong(prm, *nodes, *src, *dst, *rounds, iv)
+		res = bench.TelemetryPingPongProfiled(prm, *nodes, *src, *dst, *rounds, iv, p)
 	default:
 		fmt.Fprintf(os.Stderr, "tcatop: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -78,4 +84,10 @@ func main() {
 		fmt.Println()
 	}
 	res.Report.WriteReport(os.Stdout)
+
+	if res.Prof != nil {
+		fmt.Println()
+		fmt.Println(res.Stats.Headline())
+		res.Prof.WriteTable(os.Stdout, *top)
+	}
 }

@@ -24,7 +24,13 @@ randomness must flow through a seeded *rand.Rand wired in from
 configuration. Ranging over a map is fine for building an index, but the
 body must not schedule events, send TLPs, or append to shared state,
 because Go randomizes map order and the event queue breaks ties by
-scheduling sequence.`,
+scheduling sequence.
+
+One package is exempt from the wall-clock rule: internal/prof, which
+wraps the host clock behind the monotonic HostNanos accessor that engine
+self-profiling measures the simulator with. Host readings there observe
+the run and never feed simulated state; every other package must go
+through prof.HostNanos or sim.Engine.Now.`,
 	Run: run,
 }
 
@@ -71,6 +77,13 @@ func appliesTo(path string) bool {
 	return strings.Contains(path, "/internal/")
 }
 
+// hostClockExempt reports whether the package holds the blessed host-clock
+// accessor (internal/prof, or its fixture twin). Only the wall-clock check
+// is waived there; randomness and map-order rules still apply.
+func hostClockExempt(path string) bool {
+	return path == "tca/internal/prof" || path == "prof"
+}
+
 func checkCall(pass *framework.Pass, call *ast.CallExpr) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -85,7 +98,7 @@ func checkCall(pass *framework.Pass, call *ast.CallExpr) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
-		if wallClockFuncs[fn.Name()] {
+		if wallClockFuncs[fn.Name()] && !hostClockExempt(pass.Pkg.Path()) {
 			pass.Reportf(call.Pos(),
 				"wall-clock call time.%s in simulator code; derive time from sim.Engine.Now", fn.Name())
 		}
@@ -112,7 +125,9 @@ func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			if framework.MethodOn(pass, n, "sim", "Engine", "At") ||
-				framework.MethodOn(pass, n, "sim", "Engine", "After") {
+				framework.MethodOn(pass, n, "sim", "Engine", "After") ||
+				framework.MethodOn(pass, n, "sim", "Engine", "AtComp") ||
+				framework.MethodOn(pass, n, "sim", "Engine", "AfterComp") {
 				pass.Reportf(n.Pos(),
 					"event scheduled inside map iteration: map order is randomized and the queue breaks ties by seq; collect and sort first")
 			}

@@ -1,0 +1,20 @@
+// Package prof is the fixture twin of internal/prof: the one package the
+// simdeterminism analyzer allows to read the host clock, because it wraps
+// it behind the blessed monotonic accessor. Randomness rules still apply.
+package prof
+
+import (
+	"math/rand"
+	"time"
+)
+
+var hostEpoch = time.Now() // ok: the blessed accessor's epoch
+
+// HostNanos mirrors the real accessor: monotonic host nanoseconds.
+func HostNanos() int64 {
+	return int64(time.Since(hostEpoch)) // ok: exempted wall-clock read
+}
+
+func stillNoRandomness() {
+	_ = rand.Intn(4) // want `unseeded global randomness rand\.Intn`
+}

@@ -11,7 +11,12 @@ type Duration int64
 // Engine mirrors the scheduling surface of the real engine.
 type Engine struct{}
 
-func (e *Engine) Now() Time                   { return 0 }
-func (e *Engine) At(t Time, fn func())        {}
-func (e *Engine) After(d Duration, fn func()) {}
-func (e *Engine) Run() Time                   { return 0 }
+// CompID mirrors the profiler component tag.
+type CompID uint32
+
+func (e *Engine) Now() Time                                 { return 0 }
+func (e *Engine) At(t Time, fn func())                      {}
+func (e *Engine) After(d Duration, fn func())               {}
+func (e *Engine) AtComp(c CompID, t Time, fn func())        {}
+func (e *Engine) AfterComp(c CompID, d Duration, fn func()) {}
+func (e *Engine) Run() Time                                 { return 0 }

@@ -31,6 +31,10 @@ func mapOrder(eng *sim.Engine, p *pcie.Port, m map[int]sim.Time) {
 	for _, t := range m {
 		eng.At(t, func() {}) // want `event scheduled inside map iteration`
 	}
+	for _, t := range m {
+		eng.AtComp(1, t, func() {})    // want `event scheduled inside map iteration`
+		eng.AfterComp(1, 1, func() {}) // want `event scheduled inside map iteration`
+	}
 	for range m {
 		p.Send(nil) // want `TLP sent inside map iteration`
 	}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"tca/internal/tcanet"
+)
+
+// TestPerfBaselineRegression re-runs every engine-performance scenario and
+// gates it against the committed BENCH_PERF.json: event counts and queue
+// high-water marks must reproduce exactly (they are deterministic),
+// allocation rates within ±25%, and throughput against a generous slowdown
+// tripwire (default 4×, overridable with TCA_PERF_SLOWDOWN_MAX for noisy
+// machines). Regenerate the file with `tcabench -perf-json BENCH_PERF.json`
+// when an engine change is deliberate.
+func TestPerfBaselineRegression(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_PERF.json")
+	if err != nil {
+		t.Fatalf("committed perf baseline missing: %v", err)
+	}
+	var want PerfBaseline
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("BENCH_PERF.json: %v", err)
+	}
+	if want.Schema != PerfBaselineSchema {
+		t.Fatalf("baseline schema %q, this tree speaks %q", want.Schema, PerfBaselineSchema)
+	}
+	slowdownMax := 4.0
+	if raceEnabled {
+		// The race detector costs ~10-20x; only the host-speed tripwire
+		// is affected, so disarm just that gate.
+		t.Log("race-instrumented build: throughput tripwire disabled")
+		slowdownMax = math.Inf(1)
+	}
+	if s := os.Getenv("TCA_PERF_SLOWDOWN_MAX"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 1 {
+			t.Fatalf("TCA_PERF_SLOWDOWN_MAX=%q: want a float >= 1", s)
+		}
+		slowdownMax = v
+	}
+	got := CollectPerfBaseline(tcanet.DefaultParams)
+	for _, d := range want.Compare(got, 0.25, slowdownMax) {
+		t.Error(d)
+	}
+}

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tca/internal/pcie"
+	"tca/internal/prof"
+	"tca/internal/sim"
+	"tca/internal/tcanet"
+)
+
+// Profiled engine-performance scenarios. Each builds a fresh deterministic
+// rig, optionally registers every component with a profiler, and measures
+// the run with prof.Measure. With a nil profiler the engine runs completely
+// uninstrumented — that configuration collects the committed baseline, so
+// BENCH_PERF.json numbers carry no attribution overhead.
+
+// PerfScenarioNames lists the profiled scenarios in run order.
+var PerfScenarioNames = []string{"pingpong", "forward", "chain_dma"}
+
+// perfRounds fixes the per-scenario repetition counts. They are large
+// enough that per-run fixed costs (topology construction, first-event
+// warmup) disappear from the events/sec figure, and small enough that the
+// full suite stays under a second.
+const (
+	perfPingPongRounds = 200
+	perfForwardStores  = 200
+	perfChainDescs     = 64
+)
+
+// RunPerfScenario runs one named scenario and returns its run statistics.
+// Panics on an unknown name (the set is fixed by PerfScenarioNames).
+func RunPerfScenario(name string, prm tcanet.Params, p *prof.Profiler) prof.RunStats {
+	switch name {
+	case "pingpong":
+		return PerfPingPong(prm, perfPingPongRounds, p)
+	case "forward":
+		return PerfForward(prm, perfForwardStores, p)
+	case "chain_dma":
+		return PerfChainDMA(prm, perfChainDescs, p)
+	default:
+		panic(fmt.Sprintf("bench: unknown perf scenario %q", name))
+	}
+}
+
+// PerfPingPong drives rounds full round trips over a 2-node ring: node 0
+// stores a flag into node 1's host memory, node 1's poll answers with a
+// store back, and node 0's poll launches the next round. The poll loops
+// themselves pace the run, so the event stream exercises the store, link,
+// switch, chip-forward, and poll paths on every leg.
+func PerfPingPong(prm tcanet.Params, rounds int, p *prof.Profiler) prof.RunStats {
+	eng := sim.NewEngine()
+	sc, err := tcanet.BuildRing(eng, 2, prm)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	sc.Profile(p)
+	dstBuf, dstG := flagTarget(sc, 1)
+	srcBuf, srcG := flagTarget(sc, 0)
+	ping := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	pong := []byte{2, 0, 0, 0, 0, 0, 0, 0}
+	left := rounds
+	sc.Node(1).Poll(pcie.Range{Base: dstBuf, Size: 8}, func(sim.Time) {
+		sc.Node(1).Store(srcG, pong)
+	})
+	sc.Node(0).Poll(pcie.Range{Base: srcBuf, Size: 8}, func(sim.Time) {
+		if left--; left > 0 {
+			sc.Node(0).Store(dstG, ping)
+		}
+	})
+	st := p.Measure("pingpong", eng, func() {
+		sc.Node(0).Store(dstG, ping)
+		eng.Run()
+	})
+	if left != 0 {
+		panic(fmt.Sprintf("bench: pingpong stalled with %d rounds left", left))
+	}
+	return st
+}
+
+// PerfForward streams count sequential PIO stores from node 0 to node 4 of
+// an 8-node ring; each store launches when the destination's poll observes
+// the previous one, so every store pays the full multi-hop forwarding path.
+func PerfForward(prm tcanet.Params, count int, p *prof.Profiler) prof.RunStats {
+	eng := sim.NewEngine()
+	sc, err := tcanet.BuildRing(eng, 8, prm)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	sc.Profile(p)
+	buf, g := flagTarget(sc, 4)
+	flag := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	left := count
+	sc.Node(4).Poll(pcie.Range{Base: buf, Size: 8}, func(sim.Time) {
+		if left--; left > 0 {
+			sc.Node(0).Store(g, flag)
+		}
+	})
+	st := p.Measure("forward", eng, func() {
+		sc.Node(0).Store(g, flag)
+		eng.Run()
+	})
+	if left != 0 {
+		panic(fmt.Sprintf("bench: forward stalled with %d stores left", left))
+	}
+	return st
+}
+
+// PerfChainDMA runs one remote chained-DMA write (count descriptors of
+// 4 KiB against the adjacent node's CPU memory) — the DMAC- and
+// credit-heavy scenario, dominated by TLP issue and link drain events.
+func PerfChainDMA(prm tcanet.Params, count int, p *prof.Profiler) prof.RunStats {
+	r := newRig(2, prm)
+	r.sc.Profile(p)
+	return p.Measure("chain_dma", r.eng, func() {
+		r.measureChain(DirWrite, TargetCPU, true, 4096, count)
+	})
+}
+
+// PerfBaselineSchema versions the BENCH_PERF.json layout.
+const PerfBaselineSchema = "tca-perf-baseline/1"
+
+// PerfFigure is one scenario's committed performance envelope. Events and
+// QueueHighWater come from the deterministic simulation and must reproduce
+// exactly; the remaining fields measure the host machine and are gated with
+// generous tolerances (see Compare).
+type PerfFigure struct {
+	Events             uint64  `json:"events"`
+	QueueHighWater     int     `json:"queue_high_water"`
+	EventsPerSec       float64 `json:"events_per_sec"`
+	AllocsPerEvent     float64 `json:"allocs_per_event"`
+	AllocBytesPerEvent float64 `json:"alloc_bytes_per_event"`
+	WallNS             int64   `json:"wall_ns"`
+}
+
+// PerfBaseline is the machine-readable engine-performance capture gated by
+// the perf regression test, the analogue of BenchBaseline for host-side
+// cost instead of simulated latency.
+type PerfBaseline struct {
+	Schema    string                `json:"schema"`
+	Scenarios map[string]PerfFigure `json:"scenarios"`
+}
+
+// figureOf reduces run statistics to the committed envelope.
+func figureOf(st prof.RunStats) PerfFigure {
+	round := func(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
+	return PerfFigure{
+		Events:             st.Events,
+		QueueHighWater:     st.QueueHighWater,
+		EventsPerSec:       round(st.EventsPerSec),
+		AllocsPerEvent:     round(st.AllocsPerEvent),
+		AllocBytesPerEvent: round(st.AllocBytesPerEvent),
+		WallNS:             st.WallNS,
+	}
+}
+
+// CollectPerfBaseline measures every scenario with a nil profiler (no
+// attribution overhead) and returns the baseline to commit. Each scenario
+// runs once unmeasured to warm lazy runtime state, then three measured
+// times keeping the best host-side figures: runtime/metrics counters are
+// process-wide, so a single run can absorb background-GC allocations that
+// have nothing to do with the engine. Taking the minimum makes the figure
+// comparable between a fresh tcabench process and a warm test binary.
+func CollectPerfBaseline(prm tcanet.Params) PerfBaseline {
+	b := PerfBaseline{Schema: PerfBaselineSchema, Scenarios: make(map[string]PerfFigure, len(PerfScenarioNames))}
+	for _, name := range PerfScenarioNames {
+		RunPerfScenario(name, prm, nil)
+		fig := figureOf(RunPerfScenario(name, prm, nil))
+		for i := 0; i < 2; i++ {
+			again := figureOf(RunPerfScenario(name, prm, nil))
+			if again.Events != fig.Events || again.QueueHighWater != fig.QueueHighWater {
+				panic(fmt.Sprintf("bench: %s is nondeterministic: %+v vs %+v", name, fig, again))
+			}
+			if again.AllocsPerEvent < fig.AllocsPerEvent {
+				fig.AllocsPerEvent = again.AllocsPerEvent
+			}
+			if again.AllocBytesPerEvent < fig.AllocBytesPerEvent {
+				fig.AllocBytesPerEvent = again.AllocBytesPerEvent
+			}
+			if again.EventsPerSec > fig.EventsPerSec {
+				fig.EventsPerSec = again.EventsPerSec
+				fig.WallNS = again.WallNS
+			}
+		}
+		b.Scenarios[name] = fig
+	}
+	return b
+}
+
+// WriteJSON emits the baseline as indented JSON.
+func (b PerfBaseline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Compare checks got against the committed baseline and returns one error
+// line per regression. The fields split into three gates:
+//
+//   - Events and QueueHighWater are products of the deterministic event
+//     stream: any difference at all is a model change and must re-baseline.
+//   - AllocsPerEvent and AllocBytesPerEvent are host-side but stable across
+//     machines for the same binary; they drift only when code changes, so
+//     they get a tolerance (allocTol, a fraction, e.g. 0.25 for ±25%).
+//   - EventsPerSec varies with the machine, so it only fails when the run
+//     is slower than baseline by more than slowdownMax (e.g. 4 means "fail
+//     below a quarter of baseline throughput") — a tripwire for
+//     catastrophic regressions, not a benchmark.
+func (b PerfBaseline) Compare(got PerfBaseline, allocTol, slowdownMax float64) []string {
+	var drifts []string
+	for _, name := range PerfScenarioNames {
+		want, okW := b.Scenarios[name]
+		have, okH := got.Scenarios[name]
+		if !okW || !okH {
+			drifts = append(drifts, fmt.Sprintf("%s: missing from %s", name, map[bool]string{true: "measurement", false: "baseline"}[okW]))
+			continue
+		}
+		if want.Events != have.Events {
+			drifts = append(drifts, fmt.Sprintf("%s: events baseline %d, got %d (deterministic — re-baseline if intended)", name, want.Events, have.Events))
+		}
+		if want.QueueHighWater != have.QueueHighWater {
+			drifts = append(drifts, fmt.Sprintf("%s: queue_high_water baseline %d, got %d (deterministic — re-baseline if intended)", name, want.QueueHighWater, have.QueueHighWater))
+		}
+		checkAlloc := func(field string, w, h float64) {
+			// Near-zero baselines gate absolutely: a baseline of 0.01
+			// allocs/event must not admit 10× via relative slack.
+			const absFloor = 0.05
+			if w < absFloor {
+				if h > w+absFloor {
+					drifts = append(drifts, fmt.Sprintf("%s: %s baseline %g, got %g", name, field, w, h))
+				}
+				return
+			}
+			if rel := (h - w) / w; rel > allocTol {
+				drifts = append(drifts, fmt.Sprintf("%s: %s baseline %g, got %g (%+.1f%%)", name, field, w, h, 100*rel))
+			}
+		}
+		checkAlloc("allocs_per_event", want.AllocsPerEvent, have.AllocsPerEvent)
+		checkAlloc("alloc_bytes_per_event", want.AllocBytesPerEvent, have.AllocBytesPerEvent)
+		if want.EventsPerSec > 0 && have.EventsPerSec < want.EventsPerSec/slowdownMax {
+			drifts = append(drifts, fmt.Sprintf("%s: events/sec %.0f is over %gx slower than baseline %.0f", name, have.EventsPerSec, slowdownMax, want.EventsPerSec))
+		}
+	}
+	return drifts
+}

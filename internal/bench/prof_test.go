@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tca/internal/prof"
+	"tca/internal/tcanet"
+)
+
+// TestPerfScenariosDeterministicUnderProfiling runs every scenario twice —
+// bare engine and fully profiled — and requires identical event counts and
+// queue high-water marks: attribution must observe the run, never steer it.
+func TestPerfScenariosDeterministicUnderProfiling(t *testing.T) {
+	for _, name := range PerfScenarioNames {
+		bare := RunPerfScenario(name, tcanet.DefaultParams, nil)
+		p := prof.New(prof.Options{SampleEvery: 2})
+		profiled := RunPerfScenario(name, tcanet.DefaultParams, p)
+		if bare.Events != profiled.Events {
+			t.Errorf("%s: events %d bare vs %d profiled", name, bare.Events, profiled.Events)
+		}
+		if bare.QueueHighWater != profiled.QueueHighWater {
+			t.Errorf("%s: queue high-water %d bare vs %d profiled", name, bare.QueueHighWater, profiled.QueueHighWater)
+		}
+		if bare.Events == 0 {
+			t.Errorf("%s: scenario executed no events", name)
+		}
+	}
+}
+
+// TestPerfScenarioAttributionCoversRun checks that a profiled ping-pong
+// attributes nearly every event to a named component — the rig's Profile
+// wiring must reach nodes, switches, chips, DMACs, and links.
+func TestPerfScenarioAttributionCoversRun(t *testing.T) {
+	p := prof.New(prof.Options{SampleEvery: 1})
+	st := RunPerfScenario("pingpong", tcanet.DefaultParams, p)
+	var tagged, untagged uint64
+	names := map[string]bool{}
+	for _, c := range p.Components() {
+		if c.Name == "(untagged)" {
+			untagged += c.Events
+			continue
+		}
+		tagged += c.Events
+		names[c.Name] = true
+	}
+	if tagged+untagged != st.Events {
+		t.Fatalf("attribution lost events: %d+%d != %d", tagged, untagged, st.Events)
+	}
+	if untagged > st.Events/10 {
+		t.Errorf("%d of %d events untagged — component wiring has holes", untagged, st.Events)
+	}
+	for _, want := range []string{"node0", "node1", "peach2-0", "link:peach2-0.E"} {
+		if !names[want] {
+			t.Errorf("no events attributed to %s (have %v)", want, names)
+		}
+	}
+	// The DMAC only earns events on the DMA-heavy scenario.
+	p2 := prof.New(prof.Options{})
+	RunPerfScenario("chain_dma", tcanet.DefaultParams, p2)
+	var dmacEvents uint64
+	for _, c := range p2.Components() {
+		if c.Name == "peach2-0/dmac" {
+			dmacEvents = c.Events
+		}
+	}
+	if dmacEvents == 0 {
+		t.Error("chain_dma attributed no events to peach2-0/dmac")
+	}
+	var buf bytes.Buffer
+	p.WriteTable(&buf, 5)
+	if !strings.Contains(buf.String(), "events") {
+		t.Errorf("WriteTable produced no header:\n%s", buf.String())
+	}
+}
+
+// TestCollectPerfBaselineSelfConsistent collects the baseline twice and
+// requires the deterministic fields to agree with themselves and the
+// comparison to pass at any tolerance.
+func TestCollectPerfBaselineSelfConsistent(t *testing.T) {
+	a := CollectPerfBaseline(tcanet.DefaultParams)
+	b := CollectPerfBaseline(tcanet.DefaultParams)
+	if a.Schema != PerfBaselineSchema || len(a.Scenarios) != len(PerfScenarioNames) {
+		t.Fatalf("baseline shape: %+v", a)
+	}
+	for name, fa := range a.Scenarios {
+		fb := b.Scenarios[name]
+		if fa.Events != fb.Events || fa.QueueHighWater != fb.QueueHighWater {
+			t.Errorf("%s: deterministic fields differ across runs: %+v vs %+v", name, fa, fb)
+		}
+	}
+	if drifts := a.Compare(b, 10, 1000); len(drifts) != 0 {
+		t.Errorf("self-comparison drifted: %v", drifts)
+	}
+}
+
+// TestPerfCompareFlagsRegressions checks each gate fires on the drift it
+// owns and stays quiet otherwise.
+func TestPerfCompareFlagsRegressions(t *testing.T) {
+	base := PerfBaseline{Schema: PerfBaselineSchema, Scenarios: map[string]PerfFigure{
+		"pingpong":  {Events: 100, QueueHighWater: 8, EventsPerSec: 1e6, AllocsPerEvent: 1, AllocBytesPerEvent: 64, WallNS: 1000},
+		"forward":   {Events: 50, QueueHighWater: 4, EventsPerSec: 1e6, AllocsPerEvent: 0, AllocBytesPerEvent: 0, WallNS: 1000},
+		"chain_dma": {Events: 70, QueueHighWater: 6, EventsPerSec: 1e6, AllocsPerEvent: 1, AllocBytesPerEvent: 32, WallNS: 1000},
+	}}
+	clone := func() PerfBaseline {
+		got := PerfBaseline{Schema: base.Schema, Scenarios: map[string]PerfFigure{}}
+		for k, v := range base.Scenarios {
+			got.Scenarios[k] = v
+		}
+		return got
+	}
+	if drifts := base.Compare(clone(), 0.25, 4); len(drifts) != 0 {
+		t.Fatalf("identical baselines drifted: %v", drifts)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*PerfFigure)
+		expect string
+	}{
+		{"event count", func(f *PerfFigure) { f.Events++ }, "events"},
+		{"queue depth", func(f *PerfFigure) { f.QueueHighWater++ }, "queue_high_water"},
+		{"alloc growth", func(f *PerfFigure) { f.AllocsPerEvent = 2 }, "allocs_per_event"},
+		{"zero-alloc loss", func(f *PerfFigure) { f.AllocBytesPerEvent = 1 }, "alloc_bytes_per_event"},
+		{"throughput collapse", func(f *PerfFigure) { f.EventsPerSec = 1e4 }, "slower"},
+	}
+	for _, tc := range cases {
+		got := clone()
+		f := got.Scenarios["forward"]
+		if tc.name == "alloc growth" {
+			f = got.Scenarios["pingpong"]
+			tc.mutate(&f)
+			got.Scenarios["pingpong"] = f
+		} else {
+			tc.mutate(&f)
+			got.Scenarios["forward"] = f
+		}
+		drifts := base.Compare(got, 0.25, 4)
+		if len(drifts) != 1 || !strings.Contains(drifts[0], tc.expect) {
+			t.Errorf("%s: drifts = %v, want one mentioning %q", tc.name, drifts, tc.expect)
+		}
+	}
+	// Faster than baseline is never a regression.
+	got := clone()
+	f := got.Scenarios["forward"]
+	f.EventsPerSec = 1e9
+	got.Scenarios["forward"] = f
+	if drifts := base.Compare(got, 0.25, 4); len(drifts) != 0 {
+		t.Errorf("speedup flagged as drift: %v", drifts)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package bench
+
+// raceEnabled is false in normal builds; see race_on.go.
+const raceEnabled = false

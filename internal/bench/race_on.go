@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled marks a race-instrumented build. Race instrumentation slows
+// execution an order of magnitude, so the perf gate's throughput tripwire
+// is meaningless there; the deterministic and allocation gates still hold.
+const raceEnabled = true

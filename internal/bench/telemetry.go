@@ -6,6 +6,7 @@ import (
 	"tca/internal/core"
 	"tca/internal/obsv"
 	"tca/internal/pcie"
+	"tca/internal/prof"
 	"tca/internal/sim"
 	"tca/internal/tcanet"
 	"tca/internal/units"
@@ -24,6 +25,11 @@ type TelemetryResult struct {
 	// it carried (0 for latency-only scenarios).
 	Elapsed units.Duration
 	Moved   units.ByteSize
+	// Prof is the attached engine profiler and Stats its host-side run
+	// measurement when the scenario ran under TelemetryForwardProfiled /
+	// TelemetryPingPongProfiled (Prof nil otherwise).
+	Prof  *prof.Profiler
+	Stats prof.RunStats
 }
 
 // TelemetryForward streams a count-descriptor chain of size-byte remote DMA
@@ -34,7 +40,20 @@ type TelemetryResult struct {
 // destination chip's DMAC sits idle (the Fig. 10 forwarding setup driven at
 // full rate).
 func TelemetryForward(prm tcanet.Params, n, src, dst int, size units.ByteSize, count int, interval units.Duration) *TelemetryResult {
+	return TelemetryForwardProfiled(prm, n, src, dst, size, count, interval, nil)
+}
+
+// TelemetryForwardProfiled is TelemetryForward with an engine profiler
+// attached: host time attributes per component, and the profiler's
+// cumulative host-time series lands on the same timeline as the fabric
+// telemetry — so Perfetto exports of the result carry a host_time counter
+// track next to the utilization tracks. A nil profiler degrades to the
+// plain scenario.
+func TelemetryForwardProfiled(prm tcanet.Params, n, src, dst int, size units.ByteSize, count int, interval units.Duration, p *prof.Profiler) *TelemetryResult {
 	eng, sc, set := instrumentedRing(n, prm)
+	sc.Profile(p)
+	set.Sampler().SetComp(p.Component("obsv/sampler"))
+	p.RecordHostSeries(set.Sampler().Timeline(), hostSeriesCap)
 	comm, err := core.NewComm(sc)
 	if err != nil {
 		panic(err)
@@ -56,7 +75,7 @@ func TelemetryForward(prm tcanet.Params, n, src, dst int, size units.ByteSize, c
 		panic(err)
 	}
 	sc.StartTelemetry(interval)
-	eng.Run()
+	st := p.Measure("telemetry-forward", eng, func() { eng.Run() })
 	if doneAt == 0 {
 		panic("bench: telemetry forward chain never completed")
 	}
@@ -70,6 +89,8 @@ func TelemetryForward(prm tcanet.Params, n, src, dst int, size units.ByteSize, c
 		Report:   obsv.Attribute(snap, tl),
 		Elapsed:  doneAt.Elapsed(),
 		Moved:    total,
+		Prof:     p,
+		Stats:    st,
 	}
 }
 
@@ -79,10 +100,20 @@ func TelemetryForward(prm tcanet.Params, n, src, dst int, size units.ByteSize, c
 // attribution's "underutilized" verdict, the contrast case to
 // TelemetryForward.
 func TelemetryPingPong(prm tcanet.Params, n, src, dst, rounds int, interval units.Duration) *TelemetryResult {
+	return TelemetryPingPongProfiled(prm, n, src, dst, rounds, interval, nil)
+}
+
+// TelemetryPingPongProfiled is TelemetryPingPong with an engine profiler
+// attached (see TelemetryForwardProfiled). A nil profiler degrades to the
+// plain scenario.
+func TelemetryPingPongProfiled(prm tcanet.Params, n, src, dst, rounds int, interval units.Duration, p *prof.Profiler) *TelemetryResult {
 	if rounds < 1 {
 		panic("bench: telemetry ping-pong needs at least one round")
 	}
 	eng, sc, set := instrumentedRing(n, prm)
+	sc.Profile(p)
+	set.Sampler().SetComp(p.Component("obsv/sampler"))
+	p.RecordHostSeries(set.Sampler().Timeline(), hostSeriesCap)
 	srcBuf, srcG := flagTarget(sc, src)
 	dstBuf, dstG := flagTarget(sc, dst)
 	ping := []byte{1, 0, 0, 0, 0, 0, 0, 0}
@@ -100,8 +131,10 @@ func TelemetryPingPong(prm tcanet.Params, n, src, dst, rounds int, interval unit
 		}
 	})
 	sc.StartTelemetry(interval)
-	sc.Node(src).Store(dstG, ping)
-	eng.Run()
+	st := p.Measure("telemetry-pingpong", eng, func() {
+		sc.Node(src).Store(dstG, ping)
+		eng.Run()
+	})
 	if done != rounds {
 		panic(fmt.Sprintf("bench: %d/%d ping-pong rounds completed", done, rounds))
 	}
@@ -114,5 +147,11 @@ func TelemetryPingPong(prm tcanet.Params, n, src, dst, rounds int, interval unit
 		Snapshot: snap,
 		Report:   obsv.Attribute(snap, tl),
 		Elapsed:  lastAt.Elapsed(),
+		Prof:     p,
+		Stats:    st,
 	}
 }
+
+// hostSeriesCap bounds the profiler's cumulative host-time series; one
+// point lands per timed sample, so the ring must hold a scenario's worth.
+const hostSeriesCap = 8192

@@ -14,6 +14,7 @@ import (
 	"tca/internal/memory"
 	"tca/internal/obsv"
 	"tca/internal/pcie"
+	"tca/internal/prof"
 	"tca/internal/sim"
 	"tca/internal/units"
 )
@@ -100,6 +101,10 @@ type Node struct {
 
 	// Observability (nil when disabled).
 	rec *obsv.Recorder
+	// comp is the node's host-time attribution tag (0 when unprofiled):
+	// CPU stores, poll-loop detections, root-complex service, and QPI
+	// forwards all charge the simulator time they cost to this component.
+	comp sim.CompID
 }
 
 // Instrument attaches the node and its root complex to an observability
@@ -108,6 +113,24 @@ type Node struct {
 func (n *Node) Instrument(set *obsv.Set) {
 	n.rec = set.Recorder()
 	n.rc.instrument(set)
+}
+
+// Profile registers the node with an engine profiler so host CPU time
+// spent simulating it (stores, polls, DRAM and QPI service) is attributed
+// under the node's name. Safe with a nil profiler.
+func (n *Node) Profile(p *prof.Profiler) {
+	n.comp = p.Component(n.name)
+	for s, sw := range n.socks {
+		sw.Profile(p)
+		if port := n.rc.dn[s]; port.Connected() {
+			port.Link().Profile(p, fmt.Sprintf("link:%s.sock%d.up", n.name, s))
+		}
+	}
+	for i, g := range n.gpus {
+		if g != nil && g.Port().Connected() {
+			g.Port().Link().Profile(p, fmt.Sprintf("link:%s.gpu%d", n.name, i))
+		}
+	}
 }
 
 // NewNode builds a node with its switches and four GPUs attached. PEACH2
@@ -263,7 +286,7 @@ func (n *Node) StoreTxn(a pcie.Addr, data []byte) uint64 {
 		n.rec.Record(obsv.Event{At: n.eng.Now(), Txn: txn, Stage: obsv.StageCPUStore,
 			Where: n.name, Addr: uint64(a)})
 	}
-	n.eng.After(n.params.StoreLatency, func() {
+	n.eng.AfterComp(n.comp, n.params.StoreLatency, func() {
 		n.rc.routeFromCPU(n.eng.Now(), &pcie.TLP{Kind: pcie.MWr, Addr: a, Data: buf, Last: true, Txn: txn})
 	})
 	return txn
@@ -274,7 +297,7 @@ func (n *Node) StoreTxn(a pcie.Addr, data []byte) uint64 {
 // §IV-B1 step 6.
 func (n *Node) Poll(r pcie.Range, fn func(now sim.Time)) {
 	n.rc.watch(r, func(at sim.Time, txn uint64) {
-		n.eng.After(n.params.PollDetectLatency, func() {
+		n.eng.AfterComp(n.comp, n.params.PollDetectLatency, func() {
 			if txn != 0 && n.rec != nil {
 				n.rec.Record(obsv.Event{At: n.eng.Now(), Txn: txn,
 					Stage: obsv.StagePollSeen, Where: n.name, Addr: uint64(r.Base)})

@@ -154,7 +154,7 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 		rc.mQPI.Inc()
 		start := rc.qpiSer.Reserve(now, rc.node.params.QPIWriteService)
 		depart := start.Add(rc.node.params.QPIWriteService).Add(rc.node.params.QPILatency)
-		rc.node.eng.At(depart, func() {
+		rc.node.eng.AtComp(rc.node.comp, depart, func() {
 			rc.dn[sock].Send(rc.node.eng.Now(), t)
 		})
 		return 0
@@ -174,7 +174,7 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 			rc.outstanding++
 			req := *t
 			reply := now.Add(rc.node.params.DRAMReadLatency)
-			rc.node.eng.At(reply, func() {
+			rc.node.eng.AtComp(rc.node.comp, reply, func() {
 				data, err := rc.dram.ReadBytes(uint64(req.Addr), req.ReadLen)
 				if err != nil {
 					panic(fmt.Sprintf("%s: DRAM read %v: %v", rc.DevName(), req.Addr, err))

@@ -46,6 +46,10 @@ type Sampler struct {
 	interval  units.Duration
 	lastTick  sim.Time
 	ticks     uint64
+	// comp tags the tick train's events for engine self-profiling (see
+	// internal/prof); 0 leaves them in the untagged bucket. Set by the
+	// profiling harness — obsv cannot import prof without a cycle.
+	comp sim.CompID
 }
 
 // NewSampler creates an enabled sampler whose series retain seriesCap
@@ -55,6 +59,18 @@ func NewSampler(seriesCap int) *Sampler {
 		seriesCap = DefaultSeriesCap
 	}
 	return &Sampler{seriesCap: seriesCap, tl: &Timeline{}}
+}
+
+// SetComp tags the sampler's tick events with a profiler component ID so
+// sampling overhead attributes to the sampler instead of the untagged
+// bucket. Safe on a nil sampler.
+func (s *Sampler) SetComp(c sim.CompID) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.comp = c
+	s.mu.Unlock()
 }
 
 // Timeline returns the sampler's series collection (nil when disabled).
@@ -120,8 +136,9 @@ func (s *Sampler) Start(eng *sim.Engine, interval units.Duration) {
 	s.running = true
 	s.interval = interval
 	s.lastTick = eng.Now()
+	comp := s.comp
 	s.mu.Unlock()
-	eng.After(interval, func() { s.tick(eng) })
+	eng.AfterComp(comp, interval, func() { s.tick(eng) })
 }
 
 // Stop cancels sampling; the already-scheduled tick becomes a no-op.
@@ -156,6 +173,7 @@ func (s *Sampler) tick(eng *sim.Engine) {
 	s.ticks++
 	probes := s.probes
 	interval := s.interval
+	comp := s.comp
 	s.mu.Unlock()
 
 	for _, p := range probes {
@@ -167,7 +185,7 @@ func (s *Sampler) tick(eng *sim.Engine) {
 	// empty queue means the run is draining — stop, so Engine.Run can
 	// return and a later phase can restart sampling.
 	if eng.Pending() > 0 {
-		eng.After(interval, func() { s.tick(eng) })
+		eng.AfterComp(comp, interval, func() { s.tick(eng) })
 		return
 	}
 	s.mu.Lock()

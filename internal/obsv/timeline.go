@@ -46,6 +46,23 @@ func newSeries(name, component, label, unit string, capacity int) *Series {
 		samples: make([]Sample, 0, capacity)}
 }
 
+// NewSeries creates a standalone bounded series, for signals that are fed
+// directly rather than through a Sampler probe — e.g. the profiler's
+// host-time track. capacity <= 0 means DefaultSeriesCap.
+func NewSeries(name, component, label, unit string, capacity int) *Series {
+	return newSeries(name, component, label, unit, capacity)
+}
+
+// Append adds one sample. Callers must append in nondecreasing time order
+// (the order any single-threaded simulation produces naturally). No-op on
+// the nil series.
+func (s *Series) Append(at sim.Time, v float64) {
+	if s == nil {
+		return
+	}
+	s.append(at, v)
+}
+
 // ID renders the series identity: "name component[label]".
 func (s *Series) ID() string {
 	if s == nil {
@@ -184,6 +201,16 @@ func (t *Timeline) add(s *Series) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.series = append(t.series, s)
+}
+
+// Add registers an externally-created series (see NewSeries) so exporters
+// and tables pick it up alongside the sampler's own. No-op on the nil
+// timeline or with a nil series.
+func (t *Timeline) Add(s *Series) {
+	if t == nil || s == nil {
+		return
+	}
+	t.add(s)
 }
 
 // Series returns every series in registration order.

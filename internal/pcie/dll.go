@@ -201,7 +201,7 @@ func (l *Link) sendFrame(now sim.Time, d *linkDir, di int, e dllEntry, replayed 
 			Where: l.obsName, Port: d.dst.Label, Addr: uint64(e.tlp.Addr)})
 	}
 	arrive := start.Add(ser).Add(l.params.Propagation)
-	l.eng.At(arrive, func() {
+	l.eng.AtComp(l.comp, arrive, func() {
 		l.dllArrive(l.eng.Now(), d, di, e)
 	})
 }
@@ -240,7 +240,7 @@ func (l *Link) dllArrive(now sim.Time, d *linkDir, di int, e dllEntry) {
 	if drain < 0 {
 		panic(fmt.Sprintf("pcie: negative drain %v from %s", drain, d.dst.owner.DevName()))
 	}
-	l.eng.After(drain, func() {
+	l.eng.AfterComp(l.comp, drain, func() {
 		if dd.dead {
 			return // credits were reset when the link died
 		}
@@ -257,7 +257,7 @@ func (l *Link) dllArrive(now sim.Time, d *linkDir, di int, e dllEntry) {
 // below it is acknowledged. DLLPs are latency-only — they are a few bytes
 // and never contend with TLPs for wire time in this model.
 func (l *Link) sendDLLP(now sim.Time, di int, ackSeq uint64, nak bool) {
-	l.eng.After(l.dll.params.AckNakLatency+l.params.Propagation, func() {
+	l.eng.AfterComp(l.comp, l.dll.params.AckNakLatency+l.params.Propagation, func() {
 		l.dllpArrive(l.eng.Now(), di, ackSeq, nak)
 	})
 }
@@ -303,7 +303,7 @@ func (l *Link) armReplayTimer(di int) {
 	dd := &l.dll.dirs[di]
 	dd.timerGen++
 	gen := dd.timerGen
-	l.eng.After(l.dll.params.ReplayTimeout, func() {
+	l.eng.AfterComp(l.comp, l.dll.params.ReplayTimeout, func() {
 		if dd.dead || gen != dd.timerGen || len(dd.buf) == 0 {
 			return
 		}

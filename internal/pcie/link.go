@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tca/internal/obsv"
+	"tca/internal/prof"
 	"tca/internal/sim"
 	"tca/internal/units"
 )
@@ -137,6 +138,10 @@ type Link struct {
 	mTLPs    [2]*obsv.Counter
 	mBytes   [2]*obsv.Counter
 	mStalled [2]*obsv.Counter
+
+	// comp is the link's host-time attribution tag (0 when unprofiled):
+	// delivery, credit-release, and DLL replay events charge to it.
+	comp sim.CompID
 }
 
 type linkDir struct {
@@ -206,6 +211,13 @@ func (l *Link) Instrument(set *obsv.Set, name string) {
 		l.mStalled[i] = reg.Counter("link_credit_stalls", name, obsv.Label{Key: "dir", Value: d})
 	}
 	l.registerProbes(set.Sampler(), name)
+}
+
+// Profile registers the link with an engine profiler under name, so the
+// host CPU cost of simulating its wire (delivery events, credit pumps, DLL
+// replays) is attributed to it. Safe with a nil profiler.
+func (l *Link) Profile(p *prof.Profiler, name string) {
+	l.comp = p.Component(name)
 }
 
 // registerProbes wires the link's telemetry series. Probes only read
@@ -297,12 +309,12 @@ func (l *Link) transmit(now sim.Time, d *linkDir, di int, t *TLP) {
 			Where: l.obsName, Port: d.dst.Label, Addr: uint64(t.Addr)})
 	}
 	arrive := start.Add(ser).Add(l.params.Propagation)
-	l.eng.At(arrive, func() {
+	l.eng.AtComp(l.comp, arrive, func() {
 		drain := d.dst.owner.Accept(l.eng.Now(), t, d.dst)
 		if drain < 0 {
 			panic(fmt.Sprintf("pcie: negative drain %v from %s", drain, d.dst.owner.DevName()))
 		}
-		l.eng.After(drain, func() {
+		l.eng.AfterComp(l.comp, drain, func() {
 			d.inFlight--
 			if d.inFlight < 0 {
 				panic("pcie: credit underflow")

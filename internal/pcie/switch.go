@@ -3,6 +3,7 @@ package pcie
 import (
 	"fmt"
 
+	"tca/internal/prof"
 	"tca/internal/sim"
 	"tca/internal/units"
 )
@@ -37,6 +38,15 @@ type Switch struct {
 	down     []*Port
 	windows  AddressMap // window -> *Port
 	idRoutes map[DeviceID]*Port
+
+	// comp is the switch's host-time attribution tag (0 when unprofiled).
+	comp sim.CompID
+}
+
+// Profile registers the switch with an engine profiler so crossbar-forward
+// events charge host time to it. Safe with a nil profiler.
+func (s *Switch) Profile(p *prof.Profiler) {
+	s.comp = p.Component(s.name)
 }
 
 // NewSwitch creates a switch. The upstream port (toward the RC) is created
@@ -89,7 +99,7 @@ func (s *Switch) RegisterIDRoute(id DeviceID, p *Port) { s.idRoutes[id] = p }
 // crossbar latency.
 func (s *Switch) Accept(now sim.Time, t *TLP, in *Port) units.Duration {
 	out := s.route(t, in)
-	s.eng.After(s.params.ForwardLatency, func() {
+	s.eng.AfterComp(s.comp, s.params.ForwardLatency, func() {
 		out.Send(s.eng.Now(), t)
 	})
 	return s.params.IngressDrain

@@ -8,6 +8,7 @@ import (
 	"tca/internal/memory"
 	"tca/internal/obsv"
 	"tca/internal/pcie"
+	"tca/internal/prof"
 	"tca/internal/sim"
 	"tca/internal/units"
 )
@@ -55,6 +56,9 @@ type Chip struct {
 	// below is then a single-branch no-op).
 	rec *obsv.Recorder
 	cm  chipMetrics
+
+	// comp is the chip's host-time attribution tag (0 when unprofiled).
+	comp sim.CompID
 }
 
 // chipMetrics are the chip's registered metric handles.
@@ -93,6 +97,13 @@ func (c *Chip) Instrument(set *obsv.Set) {
 	c.cm.irqs = reg.Counter("irqs", c.name)
 	c.cm.routeMiss = reg.Counter("route_misses", c.name)
 	c.dmac.instrument(set)
+}
+
+// Profile registers the chip and its DMAC with an engine profiler so router,
+// NIOS, and DMA events charge host time to them. Safe with a nil profiler.
+func (c *Chip) Profile(p *prof.Profiler) {
+	c.comp = p.Component(c.name)
+	c.dmac.profile(p)
 }
 
 // registerProbes wires the chip's telemetry: per-port ingress and egress
@@ -250,7 +261,7 @@ func (c *Chip) flushParked() {
 	}
 	batch := c.parked
 	c.parked = nil
-	c.eng.After(0, func() {
+	c.eng.AfterComp(c.comp, 0, func() {
 		now := c.eng.Now()
 		for _, t := range batch {
 			if c.rec != nil && t.Txn != 0 {
@@ -303,7 +314,7 @@ func (c *Chip) ReconfigurePortS(role pcie.Role, done func(now sim.Time)) error {
 	if c.ports[PortS].Connected() {
 		return fmt.Errorf("peach2 %s: Port S reconfiguration requires link-down", c.name)
 	}
-	c.eng.After(PartialReconfigTime, func() {
+	c.eng.AfterComp(c.comp, PartialReconfigTime, func() {
 		c.ports[PortS].SetRole(role)
 		c.nios.logEvent(fmt.Sprintf("port S reconfigured to %v", role))
 		if done != nil {
@@ -445,7 +456,7 @@ func (c *Chip) forwardRing(now sim.Time, t *pcie.TLP, out PortID) {
 		c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageRoute,
 			Where: c.name, Port: out.String(), Addr: uint64(t.Addr)})
 	}
-	c.eng.After(c.params.RouterLatency, func() {
+	c.eng.AfterComp(c.comp, c.params.RouterLatency, func() {
 		if c.rec != nil && t.Txn != 0 {
 			c.rec.Record(obsv.Event{At: c.eng.Now(), Txn: t.Txn, Stage: obsv.StagePortOut,
 				Where: c.name, Port: out.String(), Addr: uint64(t.Addr)})
@@ -489,7 +500,7 @@ func (c *Chip) forwardN(now sim.Time, t *pcie.TLP) {
 				Where: c.name, Port: "N", Addr: uint64(t.Addr)})
 		}
 	}
-	c.eng.After(lat, func() {
+	c.eng.AfterComp(c.comp, lat, func() {
 		if c.rec != nil && t.Txn != 0 {
 			c.rec.Record(obsv.Event{At: c.eng.Now(), Txn: t.Txn, Stage: obsv.StagePortOut,
 				Where: c.name, Port: "N", Addr: uint64(local)})
@@ -500,7 +511,7 @@ func (c *Chip) forwardN(now sim.Time, t *pcie.TLP) {
 			if class == ClassHost {
 				delay = c.params.DMA.HostFlushDelay
 			}
-			c.eng.After(delay, func() { c.sendFlushAck(t.Requester, t.Txn) })
+			c.eng.AfterComp(c.comp, delay, func() { c.sendFlushAck(t.Requester, t.Txn) })
 		}
 	})
 }
@@ -580,7 +591,7 @@ func (c *Chip) writeRegister(now sim.Time, off uint64, data []byte) {
 		c.regTable = v
 	case RegDMACount:
 		c.regCount = v
-		c.eng.After(c.params.DMA.DoorbellDecode, func() {
+		c.eng.AfterComp(c.comp, c.params.DMA.DoorbellDecode, func() {
 			c.dmac.start(c.eng.Now(), pcie.Addr(c.regTable), int(v))
 		})
 	case RegChipID, RegStatus, RegDMAStatus:
@@ -625,7 +636,7 @@ func (c *Chip) writeRouteRegister(off uint64, data []byte) {
 func (c *Chip) serveInternalRead(now sim.Time, t *pcie.TLP, in *pcie.Port) {
 	off := uint64(t.Addr - c.plan.Internal.Base)
 	req := *t
-	c.eng.After(c.params.NConvLatency, func() {
+	c.eng.AfterComp(c.comp, c.params.NConvLatency, func() {
 		var data []byte
 		switch {
 		case off < RegRouteBase:
@@ -664,7 +675,7 @@ func (c *Chip) serveInternalRead(now sim.Time, t *pcie.TLP, in *pcie.Port) {
 // raiseIRQ delivers the DMAC completion interrupt to the driver; txn is the
 // completed chain's transaction ID (zero when untraced).
 func (c *Chip) raiseIRQ(txn uint64) {
-	c.eng.After(c.params.DMA.IRQLatency, func() {
+	c.eng.AfterComp(c.comp, c.params.DMA.IRQLatency, func() {
 		c.cm.irqs.Inc()
 		if c.rec != nil && txn != 0 {
 			c.rec.Record(obsv.Event{At: c.eng.Now(), Txn: txn, Stage: obsv.StageIRQ,

@@ -6,6 +6,7 @@ import (
 
 	"tca/internal/obsv"
 	"tca/internal/pcie"
+	"tca/internal/prof"
 	"tca/internal/sim"
 	"tca/internal/units"
 )
@@ -114,6 +115,8 @@ const (
 // activated" (§III-F2).
 type DMAC struct {
 	chip *Chip
+	// comp is the DMAC's host-time attribution tag (0 when unprofiled).
+	comp sim.CompID
 	tags *pcie.TagTable
 	// issue paces outbound write TLPs; readIssue paces outbound read
 	// requests independently, so the pipelined DMAC really does operate
@@ -171,6 +174,12 @@ type DMAC struct {
 }
 
 // instrument registers the DMAC's metrics under "<chip>/dmac".
+// profile registers the DMAC as its own component so chain and TLP-issue
+// events are attributed separately from the chip's router.
+func (d *DMAC) profile(p *prof.Profiler) {
+	d.comp = p.Component(d.chip.name + "/dmac")
+}
+
 func (d *DMAC) instrument(set *obsv.Set) {
 	reg := set.Registry()
 	name := d.chip.name + "/dmac"
@@ -292,7 +301,7 @@ func (d *DMAC) armWatchdog() {
 		return
 	}
 	gen := d.chainGen
-	d.chip.eng.After(d.chip.params.DMA.chainTimeout(), func() {
+	d.chip.eng.AfterComp(d.comp, d.chip.params.DMA.chainTimeout(), func() {
 		if gen != d.chainGen || d.state == dmacIdle {
 			return
 		}
@@ -498,7 +507,7 @@ func (d *DMAC) issueWrite(addr pcie.Addr, srcOff uint64, n units.ByteSize, relax
 	dur := d.issueSlotDur(n)
 	slot := d.issue.Reserve(d.chip.eng.Now(), dur)
 	gen := d.chainGen
-	d.chip.eng.At(slot.Add(dur), func() {
+	d.chip.eng.AtComp(d.comp, slot.Add(dur), func() {
 		if gen != d.chainGen {
 			return // chain aborted since this slot was reserved
 		}
@@ -546,7 +555,7 @@ func (d *DMAC) issueWriteData(addr pcie.Addr, data []byte, relaxed bool) {
 	dur := d.issueSlotDur(units.ByteSize(len(data)))
 	slot := d.issue.Reserve(d.chip.eng.Now(), dur)
 	gen := d.chainGen
-	d.chip.eng.At(slot.Add(dur), func() {
+	d.chip.eng.AtComp(d.comp, slot.Add(dur), func() {
 		if gen != d.chainGen {
 			return // chain aborted since this slot was reserved
 		}
@@ -675,7 +684,7 @@ func (d *DMAC) pumpReads() {
 		mrd.Txn = d.txn
 		gen := d.chainGen
 		slot := d.readIssue.Reserve(d.chip.eng.Now(), d.chip.params.DMA.IssueInterval)
-		d.chip.eng.At(slot.Add(d.chip.params.DMA.IssueInterval), func() {
+		d.chip.eng.AtComp(d.comp, slot.Add(d.chip.params.DMA.IssueInterval), func() {
 			if gen != d.chainGen {
 				return // chain aborted since this slot was reserved
 			}
@@ -697,7 +706,7 @@ func (d *DMAC) armReadTimeout(mrd *pcie.TLP, st *readState, attempt int, gen uin
 		return
 	}
 	timeout := d.chip.params.DMA.cplTimeout() << uint(attempt)
-	d.chip.eng.After(timeout, func() {
+	d.chip.eng.AfterComp(d.comp, timeout, func() {
 		if st.done || gen != d.chainGen || d.state == dmacIdle {
 			return
 		}

@@ -61,7 +61,7 @@ func (n *NIOS) Start(interval units.Duration) {
 	}
 	n.running = true
 	n.interval = interval
-	n.chip.eng.After(interval, n.scan)
+	n.chip.eng.AfterComp(n.chip.comp, interval, n.scan)
 }
 
 // Stop halts monitoring after the next scan.
@@ -79,7 +79,7 @@ func (n *NIOS) scan() {
 			n.lastUp[p] = up
 		}
 	}
-	n.chip.eng.After(n.interval, n.scan)
+	n.chip.eng.AfterComp(n.chip.comp, n.interval, n.scan)
 }
 
 // linkDead is the chip's dead-link notification: log it and hand it to the

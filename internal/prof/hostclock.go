@@ -1,0 +1,19 @@
+package prof
+
+import "time"
+
+// This file is the simulator's only blessed source of host time. The
+// simdeterminism analyzer bans time.Now (and friends) everywhere else under
+// internal/ so simulated behavior can never depend on the wall clock;
+// self-profiling legitimately needs the host clock to measure *itself*, so
+// the analyzer carves out exactly this package. Host readings must never
+// feed back into simulated state — they are observation, not input.
+
+// hostEpoch anchors readings so HostNanos stays well inside int64 for the
+// life of the process. time.Now carries Go's monotonic reading; Sub between
+// two such values uses the monotonic clock, immune to NTP steps.
+var hostEpoch = time.Now()
+
+// HostNanos returns monotonic host-clock nanoseconds since process start —
+// the accessor all host-time measurement in the simulator flows through.
+func HostNanos() int64 { return int64(time.Since(hostEpoch)) }

@@ -1,0 +1,58 @@
+package prof
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// pprof plumbing for the CLIs: file-backed CPU/heap profiles plus the
+// scenario labels Measure applies, so one flamegraph of a multi-scenario
+// run splits cleanly by scenario (and, in LabelComponents mode, by
+// component).
+
+// Do runs fn with a pprof "scenario" label on the goroutine, restoring the
+// previous label set afterwards.
+func Do(scenario string, fn func()) {
+	if scenario == "" {
+		fn()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("scenario", scenario), func(context.Context) { fn() })
+}
+
+// StartCPUProfile begins a CPU profile into path and returns the function
+// that stops it and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile captures an up-to-date allocation profile into path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: heap profile: %w", err)
+	}
+	runtime.GC() // flush recent allocations into the profile
+	werr := pprof.Lookup("allocs").WriteTo(f, 0)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("prof: heap profile: %w", werr)
+	}
+	return nil
+}

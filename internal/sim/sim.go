@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"tca/internal/units"
@@ -33,44 +32,56 @@ func (t Time) Elapsed() units.Duration { return units.Duration(t) }
 // String formats the timestamp like a duration since time zero.
 func (t Time) String() string { return units.Duration(t).String() }
 
+// CompID identifies a simulated component for host-time attribution. IDs
+// are allocated by a profiler (internal/prof); 0 is the untagged/engine
+// component. Tags are inert metadata: they never influence event ordering,
+// so tagged and untagged runs produce bit-identical simulation results.
+type CompID uint32
+
+// Executor intercepts event execution when a profiler is attached via
+// SetExecutor. ExecEvent must call fn exactly once, synchronously; comp is
+// the component the event was scheduled under (0 = untagged). The engine's
+// clock already shows the event's timestamp when ExecEvent runs.
+type Executor interface {
+	ExecEvent(comp CompID, fn func())
+}
+
 // event is a scheduled callback. seq breaks timestamp ties so that events
 // scheduled earlier run earlier — the property that makes runs deterministic.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+	at   Time
+	seq  uint64
+	comp CompID
+	fn   func()
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // ready to use at time zero.
+//
+// The pending queue is a hand-rolled binary min-heap on a plain []event
+// rather than container/heap: the stdlib interface boxes every pushed
+// element into an `any`, costing one allocation per scheduled event, and
+// the queue is the hottest structure in the simulator. Pop order is fully
+// determined by the (at, seq) total order, so the heap's internal layout
+// can never affect simulation results.
 type Engine struct {
-	now       Time
-	seq       uint64
-	queue     eventHeap
-	executed  uint64
-	stopped   bool
+	now      Time
+	seq      uint64
+	queue    []event
+	executed uint64
+	stopped  bool
+	// hiWater is the queue-depth high-water mark since the last
+	// ResetQueueHighWater — a capacity-planning signal for the profiler.
+	hiWater   int
 	inHandler bool
+	// curComp is the component tag of the event currently executing;
+	// events scheduled from inside a handler with plain At/After inherit
+	// it, so explicitly tagging a component's entry points attributes its
+	// whole causal chain. 0 (untagged) outside handlers.
+	curComp CompID
+	// exec, when non-nil, wraps every event execution (profiling). The
+	// disabled path costs one nil check per event and zero allocations.
+	exec Executor
 }
 
 // NewEngine returns an engine at time zero with an empty event queue.
@@ -86,9 +97,50 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending reports how many events are waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// model bug, so it panics rather than silently reordering causality.
-func (e *Engine) At(t Time, fn func()) {
+// QueueHighWater reports the deepest the pending queue has been since the
+// engine was created or the mark was last reset.
+func (e *Engine) QueueHighWater() int { return e.hiWater }
+
+// ResetQueueHighWater clears the high-water mark down to the current depth,
+// so a profiler can attribute the mark to one measured phase.
+func (e *Engine) ResetQueueHighWater() { e.hiWater = len(e.queue) }
+
+// SetExecutor attaches (or, with nil, detaches) an event-execution wrapper.
+// Attaching a profiler changes host-side behavior only: the event order the
+// wrapper observes is exactly the order the bare engine would execute.
+func (e *Engine) SetExecutor(x Executor) { e.exec = x }
+
+// CurrentComp reports the component tag of the executing event (0 between
+// events) — the tag plain At/After calls inherit.
+func (e *Engine) CurrentComp() CompID { return e.curComp }
+
+// At schedules fn to run at absolute time t, attributed to the component of
+// the currently executing event (untagged at the top level). Scheduling in
+// the past is a model bug, so it panics rather than silently reordering
+// causality.
+func (e *Engine) At(t Time, fn func()) { e.schedule(e.curComp, t, fn) }
+
+// AtComp is At with an explicit component attribution tag — the call
+// components use at their entry points so downstream events inherit it.
+func (e *Engine) AtComp(comp CompID, t Time, fn func()) { e.schedule(comp, t, fn) }
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d units.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.schedule(e.curComp, e.now.Add(d), fn)
+}
+
+// AfterComp is After with an explicit component attribution tag.
+func (e *Engine) AfterComp(comp CompID, d units.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.schedule(comp, e.now.Add(d), fn)
+}
+
+func (e *Engine) schedule(comp CompID, t Time, fn func()) {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
@@ -96,15 +148,57 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, comp: comp, fn: fn})
+	if len(e.queue) > e.hiWater {
+		e.hiWater = len(e.queue)
+	}
 }
 
-// After schedules fn to run d after the current time. Negative d panics.
-func (e *Engine) After(d units.Duration, fn func()) {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
+// less orders the heap by (at, seq) — the total order that defines the
+// simulation.
+func (e *Engine) less(i, j int) bool {
+	if e.queue[i].at != e.queue[j].at {
+		return e.queue[i].at < e.queue[j].at
 	}
-	e.At(e.now.Add(d), fn)
+	return e.queue[i].seq < e.queue[j].seq
+}
+
+func (e *Engine) push(ev event) {
+	e.queue = append(e.queue, ev)
+	i := len(e.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	root := e.queue[0]
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[n] = event{}
+	e.queue = e.queue[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			break
+		}
+		e.queue[i], e.queue[least] = e.queue[least], e.queue[i]
+		i = least
+	}
+	return root
 }
 
 // Step runs the single earliest pending event and reports whether one ran.
@@ -112,11 +206,17 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.executed++
 	e.inHandler = true
-	ev.fn()
+	e.curComp = ev.comp
+	if e.exec != nil {
+		e.exec.ExecEvent(ev.comp, ev.fn)
+	} else {
+		ev.fn()
+	}
+	e.curComp = 0
 	e.inHandler = false
 	return true
 }

@@ -286,6 +286,170 @@ func TestQuickSerializerNoOverlap(t *testing.T) {
 	}
 }
 
+// recordingExecutor captures the (comp, order) pairs the engine hands an
+// attached profiler.
+type recordingExecutor struct {
+	comps []CompID
+}
+
+func (r *recordingExecutor) ExecEvent(comp CompID, fn func()) {
+	r.comps = append(r.comps, comp)
+	fn()
+}
+
+func TestExecutorObservesEveryEvent(t *testing.T) {
+	e := NewEngine()
+	var x recordingExecutor
+	e.SetExecutor(&x)
+	ran := 0
+	e.AtComp(7, 10, func() { ran++ })
+	e.AtComp(3, 20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("ran %d events, want 3", ran)
+	}
+	want := []CompID{7, 3, 0}
+	for i, c := range x.comps {
+		if c != want[i] {
+			t.Fatalf("executor comps = %v, want %v", x.comps, want)
+		}
+	}
+	e.SetExecutor(nil)
+	e.At(40, func() { ran++ })
+	e.Run()
+	if len(x.comps) != 3 {
+		t.Fatal("detached executor still observed events")
+	}
+}
+
+func TestComponentTagInheritance(t *testing.T) {
+	e := NewEngine()
+	var x recordingExecutor
+	e.SetExecutor(&x)
+	// An event scheduled inside a tagged handler with plain After inherits
+	// the handler's tag; an explicit AfterComp overrides it.
+	e.AtComp(5, 10, func() {
+		e.After(5, func() {})
+		e.AfterComp(9, 10, func() {})
+	})
+	e.Run()
+	want := []CompID{5, 5, 9}
+	if len(x.comps) != len(want) {
+		t.Fatalf("observed %d events, want %d", len(x.comps), len(want))
+	}
+	for i := range want {
+		if x.comps[i] != want[i] {
+			t.Fatalf("comps = %v, want %v", x.comps, want)
+		}
+	}
+	if e.CurrentComp() != 0 {
+		t.Fatalf("CurrentComp() = %d between events, want 0", e.CurrentComp())
+	}
+}
+
+func TestTaggedRunMatchesUntagged(t *testing.T) {
+	// Same workload scheduled with and without component tags must execute
+	// in the same order: tags are inert metadata.
+	run := func(tagged bool) []Time {
+		e := NewEngine()
+		var visited []Time
+		for i, at := range []Time{300, 100, 100, 200, 50} {
+			if tagged {
+				e.AtComp(CompID(i+1), at, func() { visited = append(visited, e.Now()) })
+			} else {
+				e.At(at, func() { visited = append(visited, e.Now()) })
+			}
+		}
+		e.Run()
+		return visited
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tagged order diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestQueueHighWater(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.At(Time(i), func() {})
+	}
+	if hw := e.QueueHighWater(); hw != 8 {
+		t.Fatalf("QueueHighWater = %d, want 8", hw)
+	}
+	e.Run()
+	if hw := e.QueueHighWater(); hw != 8 {
+		t.Fatalf("QueueHighWater after drain = %d, want 8 (mark is sticky)", hw)
+	}
+	e.ResetQueueHighWater()
+	if hw := e.QueueHighWater(); hw != 0 {
+		t.Fatalf("QueueHighWater after reset = %d, want 0", hw)
+	}
+	e.At(e.Now()+1, func() {})
+	if hw := e.QueueHighWater(); hw != 1 {
+		t.Fatalf("QueueHighWater = %d, want 1", hw)
+	}
+	e.Run()
+}
+
+// TestDisabledProfilerPathZeroAllocs pins the engine's hot-path allocation
+// contract: with no executor attached, scheduling and running an event
+// allocates nothing. This matches the zero-alloc guarantee of the disabled
+// obsv paths and is what makes an unprofiled run's GC profile identical to
+// the pre-profiler engine. (The old container/heap queue boxed every event
+// into an `any`, costing one allocation per push — the hand-rolled heap
+// exists precisely to make this test pass.)
+func TestDisabledProfilerPathZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the queue's backing array so append growth doesn't count.
+	for i := 0; i < 64; i++ {
+		e.After(0, fn)
+	}
+	e.Run()
+	if n := testing.AllocsPerRun(200, func() {
+		e.After(0, fn)
+		e.Step()
+	}); n != 0 {
+		t.Fatalf("disabled-profiler schedule+run allocates %.1f allocs/event, want 0", n)
+	}
+}
+
+func TestHeapPopOrderMatchesSort(t *testing.T) {
+	// The hand-rolled heap must pop in exactly (at, seq) order for any
+	// insertion sequence: stable-sorting the schedule order by timestamp
+	// predicts the execution order, duplicates included.
+	f := func(raw []uint8) bool {
+		e := NewEngine()
+		var got []int
+		for i, r := range raw {
+			i := i
+			e.At(Time(r), func() { got = append(got, i) })
+		}
+		e.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		want := make([]int, len(raw))
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool { return raw[want[a]] < raw[want[b]] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTimeArithmetic(t *testing.T) {
 	a := Time(0).Add(500 * units.Nanosecond)
 	if a != Time(500*units.Nanosecond) {

@@ -8,6 +8,7 @@ import (
 	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/peach2"
+	"tca/internal/prof"
 	"tca/internal/sim"
 	"tca/internal/units"
 )
@@ -80,6 +81,17 @@ func (sc *SubCluster) Instrument(set *obsv.Set) {
 // Observability returns the attached set, or nil when uninstrumented.
 func (sc *SubCluster) Observability() *obsv.Set { return sc.obs }
 
+// Profile registers every component of the sub-cluster — nodes (and their
+// switches), chips (and their DMACs), and links — with an engine profiler,
+// so host wall-clock attributes to the component whose handler consumed it.
+// Safe with a nil profiler; component naming mirrors Instrument.
+func (sc *SubCluster) Profile(p *prof.Profiler) {
+	for _, n := range sc.nodes {
+		n.Profile(p)
+	}
+	profileChips(p, sc.chips...)
+}
+
 // StartTelemetry begins periodic sampling of every probe the instrumented
 // components registered (link utilization, DMAC busy fraction, port byte
 // rates, outstanding reads, queue depths) at the given sim-time interval.
@@ -106,6 +118,24 @@ func instrumentChips(set *obsv.Set, chips ...*peach2.Chip) {
 			}
 			seen[p.Link()] = true
 			p.Link().Instrument(set, fmt.Sprintf("link:%s.%s", c.DevName(), p.Label))
+		}
+	}
+}
+
+// profileChips registers chips and their connected links with a profiler,
+// using the same link-naming rule as instrumentChips so profiler rows line
+// up with metric labels ("link:peach2-0.E").
+func profileChips(p *prof.Profiler, chips ...*peach2.Chip) {
+	seen := make(map[*pcie.Link]bool)
+	for _, c := range chips {
+		c.Profile(p)
+		for _, id := range []peach2.PortID{peach2.PortN, peach2.PortE, peach2.PortW, peach2.PortS} {
+			pt := c.Port(id)
+			if !pt.Connected() || seen[pt.Link()] {
+				continue
+			}
+			seen[pt.Link()] = true
+			pt.Link().Profile(p, fmt.Sprintf("link:%s.%s", c.DevName(), pt.Label))
 		}
 	}
 }
@@ -328,6 +358,13 @@ type Loopback struct {
 func (lb *Loopback) Instrument(set *obsv.Set) {
 	lb.Node.Instrument(set)
 	instrumentChips(set, lb.ChipA, lb.ChipB)
+}
+
+// Profile registers the loopback rig's node, chips, and links with an
+// engine profiler. Safe with a nil profiler.
+func (lb *Loopback) Profile(p *prof.Profiler) {
+	lb.Node.Profile(p)
+	profileChips(p, lb.ChipA, lb.ChipB)
 }
 
 // BuildLoopback assembles the rig.
