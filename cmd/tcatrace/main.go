@@ -6,20 +6,82 @@
 //	tcatrace -scenario pingpong -nodes 4 -src 0 -dst 2
 //	tcatrace -scenario forward -nodes 8 -dst 3 -events
 //	tcatrace -scenario dma -size 4096 -count 8 -metrics json
-//	tcatrace -scenario pingpong -perfetto trace.json   # open in ui.perfetto.dev
+//	tcatrace -scenario pingpong -critpath            # per-span latency budgets
+//	tcatrace -scenario dma -json                     # machine-readable output
+//	tcatrace -scenario pingpong -perfetto trace.json # open in ui.perfetto.dev
 //	tcatrace -scenario pingpong -fault linkdown:1e:12us -seed 7 -rounds 10
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"tca/internal/bench"
 	"tca/internal/obsv"
+	"tca/internal/obsv/critpath"
 	"tca/internal/tcanet"
 	"tca/internal/units"
 )
+
+// jsonSpan is one span in tcatrace's machine-readable output.
+type jsonSpan struct {
+	Txn    uint64       `json:"txn"`
+	Events []obsv.Event `json:"events"`
+	Hops   []jsonHop    `json:"hops"`
+	// Budget is the span's critical-path latency anatomy in nanoseconds
+	// per bucket; it sums to total_ns exactly.
+	Budget  map[string]float64 `json:"budget_ns"`
+	TotalNS float64            `json:"total_ns"`
+}
+
+// jsonHop is one breakdown hop in machine-readable form.
+type jsonHop struct {
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Bucket string  `json:"bucket"`
+	DurNS  float64 `json:"dur_ns"`
+}
+
+// jsonTrace is the -json document.
+type jsonTrace struct {
+	Schema     string     `json:"schema"`
+	Scenario   string     `json:"scenario"`
+	EndToEndNS float64    `json:"end_to_end_ns"`
+	Evicted    uint64     `json:"spans_evicted"`
+	Spans      []jsonSpan `json:"spans"`
+}
+
+// traceJSON freezes a trace result into its -json document.
+func traceJSON(tr *bench.TraceResult) jsonTrace {
+	out := jsonTrace{
+		Schema:     "tca-trace/1",
+		Scenario:   tr.Scenario,
+		EndToEndNS: tr.EndToEnd.Nanoseconds(),
+		Evicted:    tr.Set.Recorder().Evicted(),
+	}
+	for _, sp := range tr.Spans {
+		b := critpath.BudgetOf(sp.Events)
+		js := jsonSpan{Txn: sp.Txn, Events: sp.Events, TotalNS: sp.Total.Nanoseconds(),
+			Budget: map[string]float64{}}
+		for i := critpath.Bucket(0); i < critpath.NumBuckets; i++ {
+			if d := b.Buckets[i]; d != 0 {
+				js.Budget[i.String()] = d.Nanoseconds()
+			}
+		}
+		for _, h := range sp.Hops {
+			js.Hops = append(js.Hops, jsonHop{
+				From:   h.From.Where + ":" + h.From.Stage.String(),
+				To:     h.To.Where + ":" + h.To.Stage.String(),
+				Bucket: critpath.Classify(h).String(),
+				DurNS:  h.Dur.Nanoseconds(),
+			})
+		}
+		out.Spans = append(out.Spans, js)
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -35,6 +97,8 @@ func main() {
 		faultStr = flag.String("fault", "", "fault scenario spec, e.g. linkdown:1e:12us or ber:1e-7,drop:0.01 (pingpong only)")
 		seed     = flag.Int64("seed", 1, "fault injector seed (with -fault)")
 		rounds   = flag.Int("rounds", 10, "ping-pong rounds (with -fault)")
+		asJSON   = flag.Bool("json", false, "emit the spans, hops, and budgets as one JSON document instead of tables")
+		crit     = flag.Bool("critpath", false, "also print each span's critical-path latency budget")
 	)
 	flag.Parse()
 
@@ -81,10 +145,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	if evicted := tr.Set.Recorder().Evicted(); evicted > 0 {
+		fmt.Fprintf(os.Stderr, "tcatrace: WARNING: span ring evicted %d events — breakdowns may be truncated\n", evicted)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(traceJSON(tr)); err != nil {
+			fmt.Fprintln(os.Stderr, "tcatrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("scenario: %s\n\n", tr.Scenario)
 	for i, sp := range tr.Spans {
 		fmt.Printf("span %d (txn %d), %d events, hop sum %v:\n", i, sp.Txn, len(sp.Events), sp.Total)
 		obsv.WriteBreakdown(os.Stdout, sp.Hops)
+		if *crit {
+			b := critpath.BudgetOf(sp.Events)
+			fmt.Println("  latency budget:")
+			for j := critpath.Bucket(0); j < critpath.NumBuckets; j++ {
+				if d := b.Buckets[j]; d != 0 {
+					fmt.Printf("    %-26s %12v\n", j, d)
+				}
+			}
+			if !b.Consistent() {
+				fmt.Println("    WARNING: budget does not partition the hop sum")
+			}
+		}
 		if *events {
 			for _, ev := range sp.Events {
 				fmt.Printf("    %12v  %s\n", units.Duration(ev.At), ev)

@@ -6,11 +6,14 @@ import (
 	"io"
 
 	"tca/internal/core"
+	"tca/internal/obsv/critpath"
 	"tca/internal/tcanet"
+	"tca/internal/units"
 )
 
-// BenchBaselineSchema versions the BENCH_*.json layout.
-const BenchBaselineSchema = "tca-bench-baseline/1"
+// BenchBaselineSchema versions the BENCH_*.json layout. /2 added the
+// ping-pong critical-path budget figures.
+const BenchBaselineSchema = "tca-bench-baseline/2"
 
 // BenchBaseline is the machine-readable capture of the paper's headline numbers
 // — the figures every regression run is compared against. All values come
@@ -33,22 +36,39 @@ type BenchBaseline struct {
 	// (cudaMemcpy + MPI/IB).
 	TCAGPU8BUS  float64 `json:"tca_gpu_8b_us"`
 	ConvGPU8BUS float64 `json:"conventional_gpu_8b_us"`
+	// Latency anatomy: the ping-pong leg's critical-path budget on the
+	// 4-node ring (node 0 ↔ node 2, mean ns per leg per bucket) and the
+	// fleet's p999 leg latency — the critpath engine's own regression
+	// anchors.
+	CritSoftwareNS float64 `json:"critpath_pingpong_software_ns"`
+	CritWireNS     float64 `json:"critpath_pingpong_wire_ns"`
+	CritSwitchNS   float64 `json:"critpath_pingpong_switch_ns"`
+	CritP999US     float64 `json:"critpath_pingpong_p999_us"`
 }
 
 // CollectBaseline measures every baseline figure with the given parameters.
 func CollectBaseline(prm tcanet.Params) BenchBaseline {
 	round := func(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
 	hop := MeasurePIOLatency(prm, 4, 0, 2).Nanoseconds() - MeasurePIOLatency(prm, 4, 0, 1).Nanoseconds()
+	fleet := FleetPingPong(prm, 4, 0, 2, 4)
+	legs := units.Duration(len(fleet.Budgets))
+	meanNS := func(b critpath.Bucket) float64 {
+		return round((fleet.Totals[b] / legs).Nanoseconds())
+	}
 	return BenchBaseline{
-		Schema:        BenchBaselineSchema,
-		PeakWriteGBps: round(MeasureChain(prm, DirWrite, TargetCPU, false, 4096, 255).GBps()),
-		GPUReadGBps:   round(MeasureChain(prm, DirRead, TargetGPU, false, 4096, 255).GBps()),
-		SingleDMAGBps: round(MeasureChain(prm, DirWrite, TargetCPU, false, 4096, 1).GBps()),
-		Burst4GBps:    round(MeasureChain(prm, DirWrite, TargetCPU, false, 4096, 4).GBps()),
-		MinPingPongUS: round(MeasureLoopbackPIO(prm).Microseconds()),
-		PerHopNS:      round(hop),
-		TCAGPU8BUS:    round(MeasureTCAGPU(prm, core.Pipelined, 8).Microseconds()),
-		ConvGPU8BUS:   round(MeasureConventionalGPU(prm, 8).Microseconds()),
+		Schema:         BenchBaselineSchema,
+		PeakWriteGBps:  round(MeasureChain(prm, DirWrite, TargetCPU, false, 4096, 255).GBps()),
+		GPUReadGBps:    round(MeasureChain(prm, DirRead, TargetGPU, false, 4096, 255).GBps()),
+		SingleDMAGBps:  round(MeasureChain(prm, DirWrite, TargetCPU, false, 4096, 1).GBps()),
+		Burst4GBps:     round(MeasureChain(prm, DirWrite, TargetCPU, false, 4096, 4).GBps()),
+		MinPingPongUS:  round(MeasureLoopbackPIO(prm).Microseconds()),
+		PerHopNS:       round(hop),
+		TCAGPU8BUS:     round(MeasureTCAGPU(prm, core.Pipelined, 8).Microseconds()),
+		ConvGPU8BUS:    round(MeasureConventionalGPU(prm, 8).Microseconds()),
+		CritSoftwareNS: meanNS(critpath.BucketSoftware),
+		CritWireNS:     meanNS(critpath.BucketWire),
+		CritSwitchNS:   meanNS(critpath.BucketSwitch),
+		CritP999US:     round(fleet.Ladder.P999),
 	}
 }
 
@@ -83,5 +103,9 @@ func (b BenchBaseline) Compare(got BenchBaseline, tolerance float64) []string {
 	check("fig10_per_hop_ns", b.PerHopNS, got.PerHopNS)
 	check("tca_gpu_8b_us", b.TCAGPU8BUS, got.TCAGPU8BUS)
 	check("conventional_gpu_8b_us", b.ConvGPU8BUS, got.ConvGPU8BUS)
+	check("critpath_pingpong_software_ns", b.CritSoftwareNS, got.CritSoftwareNS)
+	check("critpath_pingpong_wire_ns", b.CritWireNS, got.CritWireNS)
+	check("critpath_pingpong_switch_ns", b.CritSwitchNS, got.CritSwitchNS)
+	check("critpath_pingpong_p999_us", b.CritP999US, got.CritP999US)
 	return drifts
 }

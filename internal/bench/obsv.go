@@ -202,7 +202,7 @@ func ExtLatencyDist(prm tcanet.Params) *Table {
 		ID:      "ExtLatencyDist",
 		Title:   "One-way PIO latency distribution across ring destinations (µs) — extension",
 		XLabel:  "nodes",
-		Columns: []string{"min", "mean", "median", "p95", "p99", "max"},
+		Columns: []string{"min", "mean", "median", "p95", "p99", "p999", "max"},
 	}
 	for _, n := range []int{4, 8, 16} {
 		var us []float64
@@ -211,7 +211,7 @@ func ExtLatencyDist(prm tcanet.Params) *Table {
 		}
 		s := stats.Summarize(us)
 		t.AddRow(fmt.Sprintf("%d", n),
-			US(s.Min), US(s.Mean), US(s.Median), US(s.P95), US(s.P99), US(s.Max))
+			US(s.Min), US(s.Mean), US(s.Median), US(s.P95), US(s.P99), US(s.P999), US(s.Max))
 	}
 	t.AddNote("destinations sweep node 1..n-1 from node 0; shortest-arc routing caps the hop count at n/2")
 	t.AddNote("the p95/p99 tail is the antipodal distance — ring diameter, not queueing, drives it here")

@@ -113,6 +113,9 @@ type Node struct {
 func (n *Node) Instrument(set *obsv.Set) {
 	n.rec = set.Recorder()
 	n.rc.instrument(set)
+	for _, sw := range n.socks {
+		sw.Instrument(set)
+	}
 }
 
 // Profile registers the node with an engine profiler so host CPU time

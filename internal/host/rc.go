@@ -172,12 +172,23 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 				return 0
 			}
 			rc.outstanding++
+			if rc.rec != nil && t.Txn != 0 {
+				// The requester now waits on DRAM service; the matching
+				// queue-exit fires when the completion departs, so the
+				// whole read turnaround is attributed as wait time.
+				rc.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageQueueEnter,
+					Where: rc.DevName(), Addr: uint64(t.Addr), Cause: obsv.CauseOutstandingRead})
+			}
 			req := *t
 			reply := now.Add(rc.node.params.DRAMReadLatency)
 			rc.node.eng.AtComp(rc.node.comp, reply, func() {
 				data, err := rc.dram.ReadBytes(uint64(req.Addr), req.ReadLen)
 				if err != nil {
 					panic(fmt.Sprintf("%s: DRAM read %v: %v", rc.DevName(), req.Addr, err))
+				}
+				if rc.rec != nil && req.Txn != 0 {
+					rc.rec.Record(obsv.Event{At: rc.node.eng.Now(), Txn: req.Txn, Stage: obsv.StageQueueExit,
+						Where: rc.DevName(), Addr: uint64(req.Addr), Cause: obsv.CauseOutstandingRead})
 				}
 				maxPayload := in.Link().Params().MaxPayload
 				for _, c := range pcie.SplitCompletion(&req, data, maxPayload) {

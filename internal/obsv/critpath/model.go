@@ -1,0 +1,73 @@
+package critpath
+
+import "tca/internal/units"
+
+// Model is the paper's analytical ping-pong prediction, built from the two
+// headline numbers BENCH_PR2.json gates: the minimum (loopback) ping-pong
+// round trip of Fig. 10 and the marginal cost of one ring forwarding hop.
+// A measured fleet that drifts from the prediction localizes the change to
+// either the fixed injection cost or the per-hop pipeline.
+type Model struct {
+	// MinPingPongUS is the 0-forwarding-hop ping-pong round trip in
+	// microseconds (fig10_min_pingpong_us).
+	MinPingPongUS float64
+	// PerHopNS is the one-way marginal latency of a ring forwarding hop
+	// in nanoseconds (fig10_per_hop_ns).
+	PerHopNS float64
+	// SoftwareNSPerLeg is the predicted software cost of one leg: the
+	// uncached store reaching the root complex plus the poll loop
+	// detecting the landed write.
+	SoftwareNSPerLeg float64
+}
+
+// PredictUS predicts one ping-pong leg — the Fig. 10 "latency" convention,
+// half the round trip — for a path with extraHops forwarding hops beyond
+// the adjacent-node minimum.
+func (m Model) PredictUS(extraHops int) float64 {
+	return m.MinPingPongUS + float64(extraHops)*m.PerHopNS/1000
+}
+
+// ModelDiff is one measured-vs-predicted comparison row.
+type ModelDiff struct {
+	Name        string  `json:"name"`
+	PredictedUS float64 `json:"predicted_us"`
+	MeasuredUS  float64 `json:"measured_us"`
+	DiffPct     float64 `json:"diff_pct"`
+}
+
+func diffRow(name string, predicted, measured float64) ModelDiff {
+	d := ModelDiff{Name: name, PredictedUS: predicted, MeasuredUS: measured}
+	if predicted != 0 {
+		d.DiffPct = 100 * (measured - predicted) / predicted
+	}
+	return d
+}
+
+// CompareFleet diffs a measured ping-pong fleet against the analytical
+// prediction for extraHops forwarding hops. Legs are recorded as individual
+// transactions, so the measured leg is the ladder mean and a round trip is
+// two legs; the software row compares the predicted host cost per leg
+// against the fleet's mean software-bucket charge.
+func (m Model) CompareFleet(f *Fleet, extraHops int) []ModelDiff {
+	if len(f.Budgets) == 0 {
+		return nil
+	}
+	out := []ModelDiff{
+		diffRow("leg", m.PredictUS(extraHops), f.Ladder.Mean),
+		diffRow("round-trip", 2*m.PredictUS(extraHops), 2*f.Ladder.Mean),
+	}
+	if m.SoftwareNSPerLeg > 0 {
+		out = append(out, diffRow("software",
+			m.SoftwareNSPerLeg/1000, m.measuredSoftwareUS(f)))
+	}
+	return out
+}
+
+// measuredSoftwareUS averages the software bucket across the fleet's legs.
+func (m Model) measuredSoftwareUS(f *Fleet) float64 {
+	if len(f.Budgets) == 0 {
+		return 0
+	}
+	perLeg := f.Totals[BucketSoftware] / units.Duration(len(f.Budgets))
+	return perLeg.Microseconds()
+}

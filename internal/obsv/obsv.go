@@ -44,7 +44,9 @@ type Set struct {
 // up to spanCap events and whose telemetry series hold DefaultSeriesCap
 // samples each.
 func NewSet(spanCap int) *Set {
-	return &Set{Reg: NewRegistry(), Rec: NewRecorder(spanCap), Sam: NewSampler(DefaultSeriesCap)}
+	s := &Set{Reg: NewRegistry(), Rec: NewRecorder(spanCap), Sam: NewSampler(DefaultSeriesCap)}
+	s.Rec.attachMetrics(s.Reg)
+	return s
 }
 
 // Registry returns the metrics registry, or nil when disabled.

@@ -114,6 +114,13 @@ func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
 					"to":   h.To.Stage.String() + "@" + h.To.Where,
 				},
 			}
+			if h.To.Stage == StageQueueExit {
+				// Wait hops render as their blocking cause so the anatomy
+				// is visible without expanding args.
+				ev.Name = "wait:" + h.To.Cause.String()
+				ev.Cat = "wait"
+				ev.Args["blocked_on"] = h.To.Cause.String()
+			}
 			if h.To.Port != "" {
 				ev.Args["port"] = h.To.Port
 			}
@@ -140,6 +147,7 @@ func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
 					TS: ev.TS, PID: perfettoSpanPID, TID: ev.TID})
 			}
 		}
+		out = append(out, waitSlices(byTxn[txn], txn, id, tidOf)...)
 	}
 
 	if tl != nil {
@@ -156,6 +164,55 @@ func PerfettoEvents(events []Event, tl *Timeline) []TraceEvent {
 					Args: map[string]any{"value": sm.V},
 				})
 			}
+		}
+	}
+	return out
+}
+
+// waitSlices renders one transaction's full observed waits: each matched
+// queue-enter → queue-exit pair (FIFO per cause and component) becomes an
+// "X" slice spanning the whole wait — even the part overlapped by the
+// transaction's own traffic, which the hop slices cannot show — plus a
+// blocked-on flow arrow from the wait slice to the queue exit.
+func waitSlices(events []Event, txn uint64, id string, tidOf func(string) int) []TraceEvent {
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	type key struct {
+		cause Cause
+		where string
+	}
+	var out []TraceEvent
+	pending := map[key][]Event{}
+	n := 0
+	for _, e := range sorted {
+		switch e.Stage {
+		case StageQueueEnter:
+			k := key{e.Cause, e.Where}
+			pending[k] = append(pending[k], e)
+		case StageQueueExit:
+			k := key{e.Cause, e.Where}
+			q := pending[k]
+			if len(q) == 0 {
+				continue
+			}
+			enter := q[0]
+			pending[k] = q[1:]
+			dur := psToUS(int64(e.At.Sub(enter.At)))
+			if dur == 0 {
+				dur = 0.0001
+			}
+			out = append(out, TraceEvent{
+				Name: "wait:" + e.Cause.String(), Cat: "wait", Ph: "X",
+				TS: psToUS(int64(enter.At)), Dur: dur,
+				PID: perfettoSpanPID, TID: tidOf(enter.Where),
+				Args: map[string]any{"txn": txn, "blocked_on": e.Cause.String()},
+			})
+			wid := id + "-wait" + strconv.Itoa(n)
+			n++
+			out = append(out, TraceEvent{Name: wid, Cat: "blocked-on", Ph: "s", ID: wid,
+				TS: psToUS(int64(enter.At)), PID: perfettoSpanPID, TID: tidOf(enter.Where)})
+			out = append(out, TraceEvent{Name: wid, Cat: "blocked-on", Ph: "f", BP: "e", ID: wid,
+				TS: psToUS(int64(e.At)), PID: perfettoSpanPID, TID: tidOf(e.Where)})
 		}
 	}
 	return out

@@ -60,6 +60,17 @@ const (
 	// StageChainError: the DMAC aborted its chain and surfaced an error
 	// instead of completing.
 	StageChainError
+	// StageSwitch: a TLP arrived at a host PCIe switch and entered its
+	// store-and-forward crossbar.
+	StageSwitch
+	// StageQueueEnter: the packet started waiting in a queue (credit
+	// stall, replay-buffer backpressure, wire backlog, issue pacing, DRAM
+	// service). Cause says what it is blocked on.
+	StageQueueEnter
+	// StageQueueExit: the packet left the queue it entered at the matching
+	// StageQueueEnter; the enter→exit hop is pure wait time, attributed to
+	// the blocking Cause.
+	StageQueueExit
 )
 
 // String names the stage.
@@ -105,8 +116,71 @@ func (s Stage) String() string {
 		return "read-retry"
 	case StageChainError:
 		return "chain-error"
+	case StageSwitch:
+		return "switch-in"
+	case StageQueueEnter:
+		return "queue-enter"
+	case StageQueueExit:
+		return "queue-exit"
 	default:
 		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Cause labels what a queued packet is blocked on — the wait-edge half of
+// the latency anatomy. Every StageQueueEnter/StageQueueExit pair carries
+// one, so critical-path analysis can charge the whole wait to a single
+// bucket instead of lumping it into the surrounding hop.
+type Cause uint8
+
+// Wait causes.
+const (
+	// CauseNone: the event is not a wait edge.
+	CauseNone Cause = iota
+	// CauseCredits: the link's per-direction credit pool is exhausted —
+	// the receiver's ingress buffer has not drained.
+	CauseCredits
+	// CauseReplay: the DLL replay buffer is full — unacknowledged frames
+	// backpressure new transmissions.
+	CauseReplay
+	// CauseRouteBusy: the egress wire serializer is busy with earlier
+	// packets; the TLP holds a credit but waits for the wire.
+	CauseRouteBusy
+	// CauseChainSerialization: the DMAC's issue pipeline paces this TLP
+	// behind its predecessors (one TLP per IssueInterval).
+	CauseChainSerialization
+	// CauseTagWait: the DMAC exhausted its outstanding-read tags; the read
+	// waits for a completion to free one.
+	CauseTagWait
+	// CauseOutstandingRead: the root complex is serving the read from
+	// DRAM; the requester waits for the completion.
+	CauseOutstandingRead
+	// CauseLinkDown: the packet waited out a dead link until failover
+	// re-injected it.
+	CauseLinkDown
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseCredits:
+		return "credits-exhausted"
+	case CauseReplay:
+		return "dll-replay"
+	case CauseRouteBusy:
+		return "route-busy"
+	case CauseChainSerialization:
+		return "chain-serialization"
+	case CauseTagWait:
+		return "tag-wait"
+	case CauseOutstandingRead:
+		return "outstanding-read"
+	case CauseLinkDown:
+		return "link-down"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
 	}
 }
 
@@ -124,6 +198,9 @@ type Event struct {
 	Addr uint64 `json:"addr,omitempty"`
 	// Note carries a static detail string (an egress port, a class).
 	Note string `json:"note,omitempty"`
+	// Cause is the blocked-on cause for queue-enter/queue-exit wait edges
+	// (CauseNone everywhere else).
+	Cause Cause `json:"cause,omitempty"`
 }
 
 // String formats the event for human-readable dumps (tcaring, tcatrace).
@@ -138,6 +215,9 @@ func (e Event) String() string {
 	if e.Note != "" {
 		s += " " + e.Note
 	}
+	if e.Cause != CauseNone {
+		s += " blocked-on=" + e.Cause.String()
+	}
 	return s
 }
 
@@ -146,12 +226,17 @@ func (e Event) String() string {
 // disabled recorder: Record is a no-op and NextTxn returns 0, the "not
 // traced" transaction ID.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	next   int
-	full   bool
-	total  uint64
-	txn    uint64
+	mu      sync.Mutex
+	events  []Event
+	next    int
+	full    bool
+	total   uint64
+	evicted uint64
+	txn     uint64
+	// mEvicted mirrors the eviction count into the metrics registry when
+	// the recorder is part of a Set, so snapshot exports surface ring
+	// truncation without consulting the recorder (nil when unattached).
+	mEvicted *Counter
 }
 
 // NewRecorder creates a recorder retaining up to capacity events.
@@ -182,6 +267,12 @@ func (r *Recorder) Record(ev Event) {
 		return
 	}
 	r.mu.Lock()
+	if r.full {
+		// Overwriting the oldest retained event: count the eviction so
+		// breakdown consumers can tell a truncated span from a short one.
+		r.evicted++
+		r.mEvicted.Inc()
+	}
 	r.events[r.next] = ev
 	r.next++
 	r.total++
@@ -190,6 +281,27 @@ func (r *Recorder) Record(ev Event) {
 		r.full = true
 	}
 	r.mu.Unlock()
+}
+
+// Evicted reports how many events the ring has silently dropped to make
+// room for newer ones. A nonzero count means breakdowns of early
+// transactions may be truncated.
+func (r *Recorder) Evicted() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}
+
+// attachMetrics mirrors the recorder's eviction count into reg as the
+// span_evictions counter, so every snapshot export carries it.
+func (r *Recorder) attachMetrics(reg *Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.mEvicted = reg.Counter("span_evictions", "recorder")
 }
 
 // Len reports the number of retained events.

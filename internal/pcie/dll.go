@@ -193,6 +193,12 @@ func (l *Link) sendFrame(now sim.Time, d *linkDir, di int, e dllEntry, replayed 
 	start := d.wire.Reserve(now, ser)
 	d.reserved += ser
 	if l.rec != nil && e.tlp.Txn != 0 {
+		if start > now && !replayed {
+			l.rec.Record(obsv.Event{At: now, Txn: e.tlp.Txn, Stage: obsv.StageQueueEnter,
+				Where: l.obsName, Port: d.dst.Label, Addr: uint64(e.tlp.Addr), Cause: obsv.CauseRouteBusy})
+			l.rec.Record(obsv.Event{At: start, Txn: e.tlp.Txn, Stage: obsv.StageQueueExit,
+				Where: l.obsName, Port: d.dst.Label, Addr: uint64(e.tlp.Addr), Cause: obsv.CauseRouteBusy})
+		}
 		stage := obsv.StageLinkTx
 		if replayed {
 			stage = obsv.StageReplay
@@ -349,7 +355,9 @@ func (l *Link) dieDLL(now sim.Time) {
 		for _, e := range dd.buf {
 			salvaged = append(salvaged, e.tlp)
 		}
-		salvaged = append(salvaged, d.waiting...)
+		for _, q := range d.waiting {
+			salvaged = append(salvaged, q.t)
+		}
 		dd.buf = nil
 		d.waiting = nil
 		d.inFlight = 0

@@ -144,10 +144,17 @@ type Link struct {
 	comp sim.CompID
 }
 
+// queuedTLP is one credit- or replay-stalled packet plus the cause it is
+// blocked on, so the queue-exit span event can attribute the whole wait.
+type queuedTLP struct {
+	t     *TLP
+	cause obsv.Cause
+}
+
 type linkDir struct {
 	wire     sim.Serializer
 	inFlight int
-	waiting  []*TLP
+	waiting  []queuedTLP
 	dst      *Port
 	// reserved accumulates every wire reservation, so telemetry can
 	// compute the direction's exact busy time up to any instant as
@@ -287,7 +294,15 @@ func (l *Link) send(now sim.Time, from *Port, t *TLP) {
 	l.mBytes[di].Add(uint64(t.WireBytes()))
 	if d.inFlight >= l.params.CreditTLPs || l.dllBufFull(di) {
 		l.mStalled[di].Inc()
-		d.waiting = append(d.waiting, t)
+		cause := obsv.CauseCredits
+		if l.dllBufFull(di) {
+			cause = obsv.CauseReplay
+		}
+		if l.rec != nil && t.Txn != 0 {
+			l.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageQueueEnter,
+				Where: l.obsName, Port: d.dst.Label, Addr: uint64(t.Addr), Cause: cause})
+		}
+		d.waiting = append(d.waiting, queuedTLP{t: t, cause: cause})
 		return
 	}
 	l.transmit(now, d, di, t)
@@ -305,6 +320,14 @@ func (l *Link) transmit(now sim.Time, d *linkDir, di int, t *TLP) {
 	start := d.wire.Reserve(now, ser)
 	d.reserved += ser
 	if l.rec != nil && t.Txn != 0 {
+		if start > now {
+			// The wire is busy with earlier packets: the TLP holds a
+			// credit but queues behind the serializer backlog.
+			l.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageQueueEnter,
+				Where: l.obsName, Port: d.dst.Label, Addr: uint64(t.Addr), Cause: obsv.CauseRouteBusy})
+			l.rec.Record(obsv.Event{At: start, Txn: t.Txn, Stage: obsv.StageQueueExit,
+				Where: l.obsName, Port: d.dst.Label, Addr: uint64(t.Addr), Cause: obsv.CauseRouteBusy})
+		}
 		l.rec.Record(obsv.Event{At: start, Txn: t.Txn, Stage: obsv.StageLinkTx,
 			Where: l.obsName, Port: d.dst.Label, Addr: uint64(t.Addr)})
 	}
@@ -332,9 +355,13 @@ func (l *Link) pump(now sim.Time, d *linkDir, di int) {
 	for len(d.waiting) > 0 && d.inFlight < l.params.CreditTLPs && !l.dllBufFull(di) {
 		next := d.waiting[0]
 		copy(d.waiting, d.waiting[1:])
-		d.waiting[len(d.waiting)-1] = nil
+		d.waiting[len(d.waiting)-1] = queuedTLP{}
 		d.waiting = d.waiting[:len(d.waiting)-1]
-		l.transmit(now, d, di, next)
+		if l.rec != nil && next.t.Txn != 0 {
+			l.rec.Record(obsv.Event{At: now, Txn: next.t.Txn, Stage: obsv.StageQueueExit,
+				Where: l.obsName, Port: d.dst.Label, Addr: uint64(next.t.Addr), Cause: next.cause})
+		}
+		l.transmit(now, d, di, next.t)
 		if l.dll == nil {
 			return
 		}

@@ -3,6 +3,7 @@ package pcie
 import (
 	"fmt"
 
+	"tca/internal/obsv"
 	"tca/internal/prof"
 	"tca/internal/sim"
 	"tca/internal/units"
@@ -41,6 +42,21 @@ type Switch struct {
 
 	// comp is the switch's host-time attribution tag (0 when unprofiled).
 	comp sim.CompID
+
+	// rec records crossbar-arrival span events for traced packets (nil
+	// when uninstrumented).
+	rec *obsv.Recorder
+	// mForwards counts packets through the crossbar (nil when
+	// uninstrumented).
+	mForwards *obsv.Counter
+}
+
+// Instrument attaches the switch to an observability set: traced packets
+// record a StageSwitch event on crossbar entry, so host-switch forwarding
+// latency separates from the adjacent link wire time in breakdowns.
+func (s *Switch) Instrument(set *obsv.Set) {
+	s.rec = set.Recorder()
+	s.mForwards = set.Registry().Counter("switch_forwards", s.name)
 }
 
 // Profile registers the switch with an engine profiler so crossbar-forward
@@ -99,6 +115,11 @@ func (s *Switch) RegisterIDRoute(id DeviceID, p *Port) { s.idRoutes[id] = p }
 // crossbar latency.
 func (s *Switch) Accept(now sim.Time, t *TLP, in *Port) units.Duration {
 	out := s.route(t, in)
+	s.mForwards.Inc()
+	if s.rec != nil && t.Txn != 0 {
+		s.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageSwitch,
+			Where: s.name, Port: in.Label, Addr: uint64(t.Addr), Note: "egress " + out.Label})
+	}
 	s.eng.AfterComp(s.comp, s.params.ForwardLatency, func() {
 		out.Send(s.eng.Now(), t)
 	})

@@ -228,6 +228,10 @@ func (d *DMAC) LastChainTxn() uint64 { return d.lastTxn }
 type readReq struct {
 	tlp    *pcie.TLP
 	onData func(data []byte)
+	// tagWait marks that a queue-enter wait event was recorded for this
+	// request when the tag table starved, so dequeueing pairs it with the
+	// matching queue-exit.
+	tagWait bool
 }
 
 func newDMAC(c *Chip) *DMAC {
@@ -505,7 +509,8 @@ func (d *DMAC) issueSlotDur(payload units.ByteSize) units.Duration {
 func (d *DMAC) issueWrite(addr pcie.Addr, srcOff uint64, n units.ByteSize, relaxed bool) {
 	d.issuesPending++
 	dur := d.issueSlotDur(n)
-	slot := d.issue.Reserve(d.chip.eng.Now(), dur)
+	reservedAt := d.chip.eng.Now()
+	slot := d.issue.Reserve(reservedAt, dur)
 	gen := d.chainGen
 	d.chip.eng.AtComp(d.comp, slot.Add(dur), func() {
 		if gen != d.chainGen {
@@ -520,6 +525,7 @@ func (d *DMAC) issueWrite(addr pcie.Addr, srcOff uint64, n units.ByteSize, relax
 		d.tlpsIssued++
 		d.mTLPs.Inc()
 		final := d.writeTLPsIssued == d.totalWriteTLPs
+		d.recordIssueWait(final, reservedAt, slot)
 		tlp := &pcie.TLP{
 			Kind:      pcie.MWr,
 			Addr:      addr,
@@ -534,6 +540,21 @@ func (d *DMAC) issueWrite(addr pcie.Addr, srcOff uint64, n units.ByteSize, relax
 		d.sendFromDMAC(tlp)
 		d.maybeComplete()
 	})
+}
+
+// recordIssueWait spans the issue-pipeline wait of a traced chain's final
+// write TLP: the time between reserving the issue slot and the slot
+// opening is chain-serialization — the TLP paced behind its predecessors
+// at one per IssueInterval. Only the final TLP records it (matching
+// recordIssue) so large chains don't flood the ring.
+func (d *DMAC) recordIssueWait(final bool, reservedAt, slot sim.Time) {
+	if d.txn == 0 || !final || slot <= reservedAt {
+		return
+	}
+	d.chip.rec.Record(obsv.Event{At: reservedAt, Txn: d.txn, Stage: obsv.StageQueueEnter,
+		Where: d.chip.name, Cause: obsv.CauseChainSerialization})
+	d.chip.rec.Record(obsv.Event{At: slot, Txn: d.txn, Stage: obsv.StageQueueExit,
+		Where: d.chip.name, Cause: obsv.CauseChainSerialization})
 }
 
 // recordIssue spans the final write TLP of a traced chain — the one whose
@@ -553,7 +574,8 @@ func (d *DMAC) recordIssue(t *pcie.TLP, final bool) {
 func (d *DMAC) issueWriteData(addr pcie.Addr, data []byte, relaxed bool) {
 	d.issuesPending++
 	dur := d.issueSlotDur(units.ByteSize(len(data)))
-	slot := d.issue.Reserve(d.chip.eng.Now(), dur)
+	reservedAt := d.chip.eng.Now()
+	slot := d.issue.Reserve(reservedAt, dur)
 	gen := d.chainGen
 	d.chip.eng.AtComp(d.comp, slot.Add(dur), func() {
 		if gen != d.chainGen {
@@ -564,6 +586,7 @@ func (d *DMAC) issueWriteData(addr pcie.Addr, data []byte, relaxed bool) {
 		d.tlpsIssued++
 		d.mTLPs.Inc()
 		final := d.writeTLPsIssued == d.totalWriteTLPs
+		d.recordIssueWait(final, reservedAt, slot)
 		tlp := &pcie.TLP{
 			Kind:      pcie.MWr,
 			Addr:      addr,
@@ -670,7 +693,15 @@ func (d *DMAC) pumpReads() {
 			d.maybeComplete()
 		})
 		if !ok {
-			return // tag-starved; retry on next completion
+			// Tag-starved; retry on next completion. Mark the wait once so
+			// the traced chain attributes the stall to tag exhaustion.
+			if d.txn != 0 && !d.readQueue[0].tagWait {
+				d.readQueue[0].tagWait = true
+				d.chip.rec.Record(obsv.Event{At: d.chip.eng.Now(), Txn: d.txn,
+					Stage: obsv.StageQueueEnter, Where: d.chip.name,
+					Addr: uint64(req.tlp.Addr), Cause: obsv.CauseTagWait})
+			}
+			return
 		}
 		copy(d.readQueue, d.readQueue[1:])
 		d.readQueue = d.readQueue[:len(d.readQueue)-1]
@@ -678,12 +709,27 @@ func (d *DMAC) pumpReads() {
 		d.readsPending++
 		d.readsSent++
 		d.mReads.Inc()
+		if req.tagWait && d.txn != 0 {
+			d.chip.rec.Record(obsv.Event{At: d.chip.eng.Now(), Txn: d.txn,
+				Stage: obsv.StageQueueExit, Where: d.chip.name,
+				Addr: uint64(req.tlp.Addr), Cause: obsv.CauseTagWait})
+		}
 		mrd := *req.tlp
 		mrd.Tag = tag
 		mrd.Requester = d.chip.id
 		mrd.Txn = d.txn
 		gen := d.chainGen
-		slot := d.readIssue.Reserve(d.chip.eng.Now(), d.chip.params.DMA.IssueInterval)
+		reservedAt := d.chip.eng.Now()
+		slot := d.readIssue.Reserve(reservedAt, d.chip.params.DMA.IssueInterval)
+		if d.txn != 0 && slot > reservedAt {
+			// Paced behind earlier read requests in the issue pipeline.
+			d.chip.rec.Record(obsv.Event{At: reservedAt, Txn: d.txn,
+				Stage: obsv.StageQueueEnter, Where: d.chip.name,
+				Addr: uint64(mrd.Addr), Cause: obsv.CauseChainSerialization})
+			d.chip.rec.Record(obsv.Event{At: slot, Txn: d.txn,
+				Stage: obsv.StageQueueExit, Where: d.chip.name,
+				Addr: uint64(mrd.Addr), Cause: obsv.CauseChainSerialization})
+		}
 		d.chip.eng.AtComp(d.comp, slot.Add(d.chip.params.DMA.IssueInterval), func() {
 			if gen != d.chainGen {
 				return // chain aborted since this slot was reserved

@@ -4,6 +4,7 @@ package stats
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 )
@@ -16,10 +17,13 @@ type Summary struct {
 	Mean   float64
 	Median float64
 	StdDev float64
-	// P95 and P99 are nearest-rank percentiles — the tail-latency view the
-	// latency-distribution benchmarks report alongside the mean.
-	P95 float64
-	P99 float64
+	// P95, P99 and P999 are nearest-rank percentiles — the tail-latency
+	// view the latency-distribution benchmarks report alongside the mean.
+	// P999 is the production-tail headline (ROADMAP item 3); on samples
+	// smaller than 1000 it degrades gracefully to the maximum.
+	P95  float64
+	P99  float64
+	P999 float64
 }
 
 // Summarize computes a Summary. It panics on an empty sample — callers
@@ -58,6 +62,7 @@ func Summarize(xs []float64) Summary {
 	}
 	s.P95 = percentile(sorted, 95)
 	s.P99 = percentile(sorted, 99)
+	s.P999 = percentile(sorted, 99.9)
 	return s
 }
 
@@ -77,8 +82,24 @@ func percentile(sorted []float64, p float64) float64 {
 
 // String formats the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d min=%.4g max=%.4g mean=%.4g median=%.4g p95=%.4g p99=%.4g sd=%.4g",
-		s.N, s.Min, s.Max, s.Mean, s.Median, s.P95, s.P99, s.StdDev)
+	return fmt.Sprintf("n=%d min=%.4g max=%.4g mean=%.4g median=%.4g p95=%.4g p99=%.4g p999=%.4g sd=%.4g",
+		s.N, s.Min, s.Max, s.Mean, s.Median, s.P95, s.P99, s.P999, s.StdDev)
+}
+
+// WriteTable renders the summary as an aligned two-column table — the
+// long-form view the percentile-ladder reports embed.
+func (s Summary) WriteTable(w io.Writer) {
+	rows := []struct {
+		k string
+		v float64
+	}{
+		{"min", s.Min}, {"median", s.Median}, {"mean", s.Mean},
+		{"p95", s.P95}, {"p99", s.P99}, {"p999", s.P999}, {"max", s.Max},
+	}
+	fmt.Fprintf(w, "  %-8s %d\n", "n", s.N)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s %.4g\n", r.k, r.v)
+	}
 }
 
 // RelativeError reports |got-want|/|want|.
