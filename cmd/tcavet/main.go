@@ -11,18 +11,32 @@
 //	                disabled path stays a zero-alloc no-op
 //	heapsafety      engine callbacks spawn no goroutines, never re-enter
 //	                the engine, and capture no loop variables
+//	poolsafety      //tca:pooled objects drawn with Get reach exactly one
+//	                Release; no use after release, no double release, no
+//	                un-Pinned escape into fields or closures
+//	sharedstate     component fields and package-level vars are written
+//	                from one component domain only (or under a lock)
+//	lockorder       nested mutexes follow one global acquisition order;
+//	                fields written under a lock are not read without it
+//
+// The last three use cross-package facts: a marker or edge discovered in
+// a type's defining package travels with it into every importer, so the
+// whole module is loaded in dependency order and fact-producing analyzers
+// run over all of it even when only a subset of packages is requested.
 //
 // Usage:
 //
 //	go run ./cmd/tcavet ./...
 //	go run ./cmd/tcavet -list
-//	go run ./cmd/tcavet ./internal/peach2 ./internal/pcie
+//	go run ./cmd/tcavet -json ./... > tcavet.json
+//	go run ./cmd/tcavet -github ./internal/peach2 ./internal/pcie
 //
 // Exit status: 0 clean, 1 diagnostics found, 2 load/usage error.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,8 +45,11 @@ import (
 
 	"tca/internal/analysis/framework"
 	"tca/internal/analysis/heapsafety"
+	"tca/internal/analysis/lockorder"
 	"tca/internal/analysis/nilprobe"
 	"tca/internal/analysis/panicstyle"
+	"tca/internal/analysis/poolsafety"
+	"tca/internal/analysis/sharedstate"
 	"tca/internal/analysis/simdeterminism"
 	"tca/internal/analysis/unittypes"
 )
@@ -43,11 +60,16 @@ var suite = []*framework.Analyzer{
 	panicstyle.Analyzer,
 	nilprobe.Analyzer,
 	heapsafety.Analyzer,
+	poolsafety.Analyzer,
+	sharedstate.Analyzer,
+	lockorder.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON report on stdout")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations alongside the plain report")
 	flag.Parse()
 
 	if *list {
@@ -90,12 +112,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := 0
+	// Fact-producing analyzers must see every package (a //tca:pooled
+	// marker lives in the defining package, not the one being checked),
+	// so the suite runs over the whole module in dependency order and
+	// diagnostics are reported only for the packages that matched the
+	// command-line patterns.
+	suite := framework.NewSuite(active)
+	report := []jsonDiagnostic{} // non-nil so -json always emits an array
 	for _, pkg := range pkgs {
-		diags, err := framework.Run(pkg, active)
+		diags, err := suite.Run(pkg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcavet: %v\n", err)
 			os.Exit(2)
+		}
+		if !pkg.Matched {
+			continue
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
@@ -103,14 +134,64 @@ func main() {
 			if relErr != nil {
 				rel = pos.Filename
 			}
-			fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer.Name, d.Message)
-			found++
+			report = append(report, jsonDiagnostic{
+				File:     filepath.ToSlash(rel),
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Analyzer.Name,
+				Message:  d.Message,
+			})
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "tcavet: %d diagnostic(s)\n", found)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{Diagnostics: report, Count: len(report)}); err != nil {
+			fmt.Fprintf(os.Stderr, "tcavet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range report {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+		}
+	}
+	if *github {
+		for _, d := range report {
+			// ::error annotations surface on the PR diff; the message is
+			// escaped per the workflow-command rules.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=tcavet/%s::%s\n",
+				d.File, d.Line, d.Column, d.Analyzer, githubEscape(d.Message))
+		}
+	}
+	if len(report) > 0 {
+		fmt.Fprintf(os.Stderr, "tcavet: %d diagnostic(s)\n", len(report))
 		os.Exit(1)
 	}
+}
+
+// jsonReport is the machine-readable output of -json, consumed by CI to
+// attach the report as a build artifact.
+type jsonReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Count       int              `json:"count"`
+}
+
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// githubEscape encodes the characters the workflow-command parser treats
+// specially in annotation messages.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // findModule locates go.mod upward from the working directory and reads

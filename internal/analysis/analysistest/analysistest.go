@@ -31,6 +31,12 @@ import (
 // Run applies the analyzer to each named fixture package under
 // testdata/src and reports any mismatch between the diagnostics produced
 // and the `// want` expectations as test failures.
+//
+// All fixtures reachable from the named packages run under one shared
+// framework.Suite, dependencies first, so facts an analyzer exports while
+// visiting an imported fixture are visible when the importer is analyzed —
+// the same load order the tcavet driver uses on the real module. Want
+// expectations are checked in every loaded fixture, dependencies included.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
 	t.Helper()
 	src := filepath.Join(testdata, "src")
@@ -42,11 +48,13 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
 		std:    importer.ForCompiler(fset, "source", nil),
 	}
 	for _, pkg := range pkgs {
-		fx, err := loader.load(pkg)
-		if err != nil {
+		if _, err := loader.load(pkg); err != nil {
 			t.Fatalf("loading fixture %s: %v", pkg, err)
 		}
-		check(t, a, fx)
+	}
+	suite := framework.NewSuite([]*framework.Analyzer{a})
+	for _, fx := range loader.order {
+		check(t, suite, fx)
 	}
 }
 
@@ -60,10 +68,11 @@ type want struct {
 	matched bool
 }
 
-// check runs the analyzer and diffs diagnostics against expectations.
-func check(t *testing.T, a *framework.Analyzer, fx *loadedFixture) {
+// check runs the suite on one fixture and diffs diagnostics against
+// expectations.
+func check(t *testing.T, suite *framework.Suite, fx *loadedFixture) {
 	t.Helper()
-	diags, err := framework.Run(fx.pkg, []*framework.Analyzer{a})
+	diags, err := suite.Run(fx.pkg)
 	if err != nil {
 		t.Fatalf("%s: %v", fx.pkg.Path, err)
 	}
@@ -105,7 +114,11 @@ type fixtureLoader struct {
 	src    string
 	fset   *token.FileSet
 	loaded map[string]*loadedFixture
-	std    types.Importer
+	// order lists fixtures in completion order of the recursive load —
+	// dependencies before their importers, the order a fact-carrying
+	// suite must analyze them in.
+	order []*loadedFixture
+	std   types.Importer
 }
 
 // load parses and type-checks one fixture package (and, recursively, the
@@ -159,8 +172,9 @@ func (l *fixtureLoader) load(path string) (*loadedFixture, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
 	}
-	fx.pkg = &framework.Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	fx.pkg = &framework.Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info, Matched: true}
 	l.loaded[path] = fx
+	l.order = append(l.order, fx)
 	return fx, nil
 }
 

@@ -28,6 +28,12 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check.
 	Run func(*Pass) error
+	// FactTypes lists the fact types the analyzer exports or imports.
+	// An analyzer with a non-empty FactTypes runs over every package of
+	// the module (not only the ones named on the command line) so its
+	// facts exist before any downstream package is analyzed; diagnostics
+	// are still reported only for the requested packages.
+	FactTypes []Fact
 }
 
 // A Diagnostic is one finding, anchored to a source position.
@@ -45,6 +51,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts       *factStore
 	diagnostics []Diagnostic
 }
 
@@ -57,17 +64,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies each analyzer to the package and returns the combined
-// diagnostics sorted by position.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// A Suite runs a set of analyzers over a sequence of packages presented in
+// dependency order, carrying exported facts from each package to the ones
+// that import it. One Suite corresponds to one tcavet invocation (or one
+// analysistest fixture run); facts never leak between suites.
+type Suite struct {
+	analyzers []*Analyzer
+	facts     *factStore
+}
+
+// NewSuite creates a suite over the given analyzers.
+func NewSuite(analyzers []*Analyzer) *Suite {
+	return &Suite{analyzers: analyzers, facts: newFactStore()}
+}
+
+// Run applies each of the suite's analyzers to the package and returns the
+// combined diagnostics sorted by position. Packages must be presented in
+// dependency order (dependencies first) or fact imports will come up
+// empty; LoadModule already returns packages in that order.
+func (s *Suite) Run(pkg *Package) ([]Diagnostic, error) {
 	var out []Diagnostic
-	for _, a := range analyzers {
+	for _, a := range s.analyzers {
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			facts:     s.facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -81,6 +105,13 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return out[i].Analyzer.Name < out[j].Analyzer.Name
 	})
 	return out, nil
+}
+
+// Run applies each analyzer to one package in a fresh single-package suite
+// — the entry point for fact-free analyzers and one-shot checks. Analyzers
+// that use facts should run under a shared Suite instead.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return NewSuite(analyzers).Run(pkg)
 }
 
 // Named unwraps pointers and returns the defining package name and type

@@ -23,17 +23,24 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Matched reports whether the package matched the load patterns.
+	// Fact-producing analyzers run over every package so cross-package
+	// facts exist; drivers report diagnostics only for matched ones.
+	Matched bool
 }
 
 // Name returns the package name.
 func (p *Package) Name() string { return p.Types.Name() }
 
 // LoadModule parses and type-checks every non-test package of the module
-// rooted at root (whose module path is modPath), in dependency order, and
-// returns the packages matching patterns. Patterns follow the go tool's
-// shape: "./..." matches everything, "./internal/..." a subtree, and
-// "./internal/sim" a single package. Test files are excluded: tcavet
-// checks the simulator itself; its own fixtures exercise the analyzers.
+// rooted at root (whose module path is modPath) and returns ALL of them in
+// dependency order, with Matched set on the ones matching patterns.
+// Patterns follow the go tool's shape: "./..." matches everything,
+// "./internal/..." a subtree, and "./internal/sim" a single package. Test
+// files are excluded: tcavet checks the simulator itself; its own fixtures
+// exercise the analyzers. Returning unmatched packages too is what lets
+// fact-based analyzers see a type's defining package before the packages
+// that use it, regardless of which packages were asked for.
 func LoadModule(root, modPath string, patterns []string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	dirs, err := packageDirs(root)
@@ -91,9 +98,9 @@ func LoadModule(root, modPath string, patterns []string) ([]*Package, error) {
 
 	var out []*Package
 	for _, path := range order {
-		if matchesAny(patterns, modPath, path) {
-			out = append(out, parsed[path])
-		}
+		pkg := parsed[path]
+		pkg.Matched = matchesAny(patterns, modPath, path)
+		out = append(out, pkg)
 	}
 	return out, nil
 }

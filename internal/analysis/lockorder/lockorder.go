@@ -1,0 +1,483 @@
+// Package lockorder audits the few places the simulator does use locks —
+// the obsv observability layer, whose recorders and registries are read
+// by CLI goroutines while the engine writes them — for the two classic
+// mutex bugs that testing rarely catches:
+//
+//   - inconsistent acquisition order: if one function locks A then B and
+//     another locks B then A, the pair can deadlock. Each function's
+//     nested acquisitions contribute ordering edges keyed by (type, mutex
+//     field); edges accumulate across packages through a package fact, and
+//     the edge that closes a cycle is reported where it appears.
+//   - unguarded reads: a field written only while a receiver's mutex is
+//     held is part of that mutex's protected state; a method of the same
+//     type that reads the field without taking the lock races the writers.
+//     Guarded fields are discovered per package and marked with object
+//     facts so reads are checked wherever the type is used.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"tca/internal/analysis/framework"
+)
+
+// guardedFact marks a struct field as protected by a named mutex field of
+// the same struct: it is only ever written with that mutex held.
+type guardedFact struct {
+	// Mutex is the guarding field's name, e.g. "mu".
+	Mutex string
+}
+
+// AFact implements framework.Fact.
+func (*guardedFact) AFact() {}
+
+// lockEdgesFact carries a package's accumulated lock-ordering edges (its
+// own plus its dependencies') to importing packages.
+type lockEdgesFact struct {
+	// Edges lists "From->To" pairs of lock keys ("pkg.Type.field").
+	Edges []string
+}
+
+// AFact implements framework.Fact.
+func (*lockEdgesFact) AFact() {}
+
+// Analyzer reports inconsistent mutex acquisition order and unguarded
+// reads of mutex-protected fields.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: `check mutex acquisition order and guarded-field access
+
+Nested mutex acquisitions must follow one global order: if any function
+locks A before B, no function (in any package — edges travel as facts)
+may lock B before A. Fields written only under a receiver's mutex are
+that mutex's protected state; methods reading them without the lock are
+reported.`,
+	Run:       run,
+	FactTypes: []framework.Fact{(*guardedFact)(nil), (*lockEdgesFact)(nil)},
+}
+
+func run(pass *framework.Pass) error {
+	edges, edgePos := collectEdges(pass)
+	checkCycles(pass, edges, edgePos)
+	checkGuardedFields(pass)
+	return nil
+}
+
+// lockKey names one mutex for ordering purposes: the receiver's package
+// path, type and field, or the package path and variable name for a
+// package-level mutex.
+func lockKey(pass *framework.Pass, sel *ast.SelectorExpr) (string, bool) {
+	if !isMutexMethod(pass, sel, "Lock") && !isMutexMethod(pass, sel, "RLock") {
+		return "", false
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		// recv.mu.Lock(): key by the owner's type and field name.
+		tv, ok := pass.TypesInfo.Types[x.X]
+		if !ok {
+			return "", false
+		}
+		t := tv.Type
+		if ptr, okP := t.(*types.Pointer); okP {
+			t = ptr.Elem()
+		}
+		named, okN := t.(*types.Named)
+		if !okN || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return fmt.Sprintf("%s.%s.%s", named.Obj().Pkg().Path(), named.Obj().Name(), x.Sel.Name), true
+	case *ast.Ident:
+		// mu.Lock() on a package-level or local mutex.
+		v, ok := pass.TypesInfo.ObjectOf(x).(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		if v.Parent() != v.Pkg().Scope() {
+			return "", false // local mutexes cannot deadlock across functions
+		}
+		return fmt.Sprintf("%s.%s", v.Pkg().Path(), v.Name()), true
+	}
+	return "", false
+}
+
+// isMutexMethod reports whether sel selects method name on a sync.Mutex /
+// sync.RWMutex (possibly embedded).
+func isMutexMethod(pass *framework.Pass, sel *ast.SelectorExpr, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, okS := fn.Type().(*types.Signature)
+	if !okS || sig.Recv() == nil {
+		return false
+	}
+	p, t, okN := framework.Named(sig.Recv().Type())
+	return okN && p == "sync" && (t == "Mutex" || t == "RWMutex")
+}
+
+// collectEdges walks every function, tracking the set of held locks in
+// source order, and records an ordering edge for each acquisition made
+// while another lock is held.
+func collectEdges(pass *framework.Pass) ([]string, map[string]ast.Node) {
+	seen := make(map[string]bool)
+	var edges []string
+	edgePos := make(map[string]ast.Node)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var held []string // acquisition-ordered
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, okD := n.(*ast.DeferStmt); okD {
+					return false // defer mu.Unlock() releases at return, not here
+				}
+				call, okC := n.(*ast.CallExpr)
+				if !okC {
+					return true
+				}
+				sel, okS := call.Fun.(*ast.SelectorExpr)
+				if !okS {
+					return true
+				}
+				if key, okK := lockKey(pass, sel); okK {
+					for _, h := range held {
+						if h == key {
+							continue // re-lock of the same key: a bug, but not an ordering edge
+						}
+						e := h + "->" + key
+						if !seen[e] {
+							seen[e] = true
+							edges = append(edges, e)
+							edgePos[e] = call
+						}
+					}
+					held = append(held, key)
+					return true
+				}
+				if isMutexMethod(pass, sel, "Unlock") || isMutexMethod(pass, sel, "RUnlock") {
+					// Drop the most recent matching hold. Source order is an
+					// approximation, but lock/unlock in the suite's code is
+					// strictly scoped (defer or immediate), so it holds.
+					if key, okK := unlockKey(pass, sel); okK {
+						for i := len(held) - 1; i >= 0; i-- {
+							if held[i] == key {
+								held = append(held[:i], held[i+1:]...)
+								break
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return edges, edgePos
+}
+
+// unlockKey mirrors lockKey for Unlock/RUnlock calls.
+func unlockKey(pass *framework.Pass, sel *ast.SelectorExpr) (string, bool) {
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		tv, ok := pass.TypesInfo.Types[x.X]
+		if !ok {
+			return "", false
+		}
+		t := tv.Type
+		if ptr, okP := t.(*types.Pointer); okP {
+			t = ptr.Elem()
+		}
+		named, okN := t.(*types.Named)
+		if !okN || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return fmt.Sprintf("%s.%s.%s", named.Obj().Pkg().Path(), named.Obj().Name(), x.Sel.Name), true
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.ObjectOf(x).(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return "", false
+		}
+		return fmt.Sprintf("%s.%s", v.Pkg().Path(), v.Name()), true
+	}
+	return "", false
+}
+
+// checkCycles merges the dependency packages' edges (via facts) with this
+// package's, reports any edge of this package that closes a cycle, and
+// exports the union for downstream packages.
+func checkCycles(pass *framework.Pass, edges []string, edgePos map[string]ast.Node) {
+	all := make(map[string]bool)
+	for _, imp := range pass.Pkg.Imports() {
+		var fact lockEdgesFact
+		if pass.ImportPackageFact(imp, &fact) {
+			for _, e := range fact.Edges {
+				all[e] = true
+			}
+		}
+	}
+
+	adj := make(map[string][]string)
+	addEdge := func(e string) (from, to string, ok bool) {
+		for i := 0; i+1 < len(e); i++ {
+			if e[i] == '-' && e[i+1] == '>' {
+				return e[:i], e[i+2:], true
+			}
+		}
+		return "", "", false
+	}
+	var keys []string
+	for e := range all {
+		keys = append(keys, e)
+	}
+	sort.Strings(keys)
+	for _, e := range keys {
+		if from, to, ok := addEdge(e); ok {
+			adj[from] = append(adj[from], to)
+		}
+	}
+
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		work := []string{from}
+		for len(work) > 0 {
+			cur := work[len(work)-1]
+			work = work[:len(work)-1]
+			if cur == to {
+				return true
+			}
+			for _, next := range adj[cur] {
+				if !seen[next] {
+					seen[next] = true
+					work = append(work, next)
+				}
+			}
+		}
+		return false
+	}
+
+	for _, e := range edges {
+		from, to, ok := addEdge(e)
+		if !ok {
+			continue
+		}
+		if reaches(to, from) {
+			pass.Reportf(edgePos[e].Pos(),
+				"lock order inverted: %s is acquired while holding %s, but elsewhere %s is acquired first; pick one global order",
+				short(to), short(from), short(to))
+		}
+		adj[from] = append(adj[from], to)
+		all[e] = true
+	}
+
+	if len(all) > 0 {
+		var union []string
+		for e := range all {
+			union = append(union, e)
+		}
+		sort.Strings(union)
+		pass.ExportPackageFact(&lockEdgesFact{Edges: union})
+	}
+}
+
+// short trims the package path off a lock key for diagnostics.
+func short(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '/' {
+			return key[i+1:]
+		}
+	}
+	return key
+}
+
+// checkGuardedFields finds fields of this package's types written only
+// under a same-receiver mutex, exports guardedFacts for them, and reports
+// same-type methods that read them without holding any lock.
+func checkGuardedFields(pass *framework.Pass) {
+	type fieldAccess struct {
+		field  *types.Var
+		owner  *types.TypeName
+		node   ast.Node
+		locked bool
+		write  bool
+		mutex  string // innermost held receiver-mutex field name, if locked
+	}
+	var accesses []fieldAccess
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvObj := namedObj(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+			if recvObj == nil {
+				continue
+			}
+			recvVar := receiverVar(pass, fd)
+			blocks := innermostBlocks(fd.Body)
+			// A source-ordered walk: locked tracks whether a receiver
+			// mutex is held at each point. Defer-unlocked functions stay
+			// locked to the end; explicitly unlocked regions flip back —
+			// but only when the Unlock sits in the same block as the Lock,
+			// so an early-return branch (`if done { s.mu.Unlock(); return }`)
+			// does not end the region for the fallthrough path.
+			locked := ""
+			var lockBlock *ast.BlockStmt
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.DeferStmt:
+					return false // defer mu.Unlock() does not end the region
+				case *ast.CallExpr:
+					if sel, okS := e.Fun.(*ast.SelectorExpr); okS {
+						if inner, okI := sel.X.(*ast.SelectorExpr); okI &&
+							framework.RootVar(pass.TypesInfo, inner.X) == recvVar {
+							if isMutexMethod(pass, sel, "Lock") || isMutexMethod(pass, sel, "RLock") {
+								locked = inner.Sel.Name
+								lockBlock = blocks[e.Pos()]
+							}
+							if isMutexMethod(pass, sel, "Unlock") || isMutexMethod(pass, sel, "RUnlock") {
+								if blocks[e.Pos()] == lockBlock {
+									locked = ""
+								}
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range e.Lhs {
+						if f, owner := receiverField(pass, lhs, recvVar, recvObj); f != nil {
+							accesses = append(accesses, fieldAccess{
+								field: f, owner: owner, node: lhs,
+								locked: locked != "", write: true, mutex: locked,
+							})
+						}
+					}
+				case *ast.SelectorExpr:
+					if f, owner := receiverField(pass, e, recvVar, recvObj); f != nil {
+						accesses = append(accesses, fieldAccess{
+							field: f, owner: owner, node: e,
+							locked: locked != "", mutex: locked,
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// A field is guarded when it has at least one locked write and no
+	// unlocked writes.
+	lockedWrites := make(map[*types.Var]string)
+	unlockedWrite := make(map[*types.Var]bool)
+	for _, a := range accesses {
+		if !a.write {
+			continue
+		}
+		if a.locked {
+			if _, ok := lockedWrites[a.field]; !ok {
+				lockedWrites[a.field] = a.mutex
+			}
+		} else {
+			unlockedWrite[a.field] = true
+		}
+	}
+	for f, mu := range lockedWrites {
+		if !unlockedWrite[f] && !isMutexField(f) {
+			pass.ExportObjectFact(f, &guardedFact{Mutex: mu})
+		}
+	}
+
+	// Report unlocked reads of guarded fields (including fields guarded in
+	// an upstream package, via the imported facts).
+	for _, a := range accesses {
+		if a.write || a.locked {
+			continue
+		}
+		var fact guardedFact
+		if pass.ImportObjectFact(a.field, &fact) {
+			pass.Reportf(a.node.Pos(),
+				"field %s of %s is written under %s.%s elsewhere; reading it without the lock races those writers",
+				a.field.Name(), a.owner.Name(), a.owner.Name(), fact.Mutex)
+		}
+	}
+}
+
+// receiverField resolves expr as a direct field selection recv.f on the
+// method's own receiver and returns the field object.
+func receiverField(pass *framework.Pass, expr ast.Expr, recvVar *types.Var, recvObj *types.TypeName) (*types.Var, *types.TypeName) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || recvVar == nil {
+		return nil, nil
+	}
+	if framework.RootVar(pass.TypesInfo, sel.X) != recvVar {
+		return nil, nil
+	}
+	s, okS := pass.TypesInfo.Selections[sel]
+	if !okS || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	f, okF := s.Obj().(*types.Var)
+	if !okF {
+		return nil, nil
+	}
+	return f, recvObj
+}
+
+// innermostBlocks maps each node position in body to its innermost
+// enclosing statement list, ignoring nested function literals.
+func innermostBlocks(body *ast.BlockStmt) map[token.Pos]*ast.BlockStmt {
+	m := make(map[token.Pos]*ast.BlockStmt)
+	var walk func(n ast.Node, cur *ast.BlockStmt)
+	walk = func(n ast.Node, cur *ast.BlockStmt) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch b := c.(type) {
+			case *ast.BlockStmt:
+				if b != n {
+					walk(b, b)
+					return false
+				}
+			case *ast.FuncLit:
+				return false
+			default:
+				if c != nil {
+					m[c.Pos()] = cur
+				}
+			}
+			return true
+		})
+	}
+	walk(body, body)
+	return m
+}
+
+func receiverVar(pass *framework.Pass, fd *ast.FuncDecl) *types.Var {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[names[0]].(*types.Var)
+	return v
+}
+
+func namedObj(t types.Type) *types.TypeName {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+func isMutexField(f *types.Var) bool {
+	p, t, ok := framework.Named(f.Type())
+	return ok && p == "sync" && (t == "Mutex" || t == "RWMutex")
+}

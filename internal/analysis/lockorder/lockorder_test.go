@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"tca/internal/analysis/analysistest"
+	"tca/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockfix", "crosslock")
+}

@@ -1,0 +1,100 @@
+// Package lockfix exercises the lockorder analyzer: inverted acquisition
+// order between two mutexes, unguarded reads of lock-protected fields,
+// and the blessed patterns (consistent order, early-return unlock
+// branches, defer).
+package lockfix
+
+import "sync"
+
+// Registry indexes series under a mutex, like obsv's metric registry.
+type Registry struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Recorder buffers spans under its own mutex.
+type Recorder struct {
+	mu   sync.Mutex
+	seen int
+	// hint is never written under the lock, so reads are unconstrained.
+	hint int
+}
+
+// Flush locks Registry then Recorder: this pair fixes the global order.
+func (r *Registry) Flush(rec *Recorder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec.mu.Lock()
+	rec.seen += r.count
+	rec.mu.Unlock()
+}
+
+// Drain locks Recorder then Registry: the inverse order can deadlock
+// against Flush.
+func (rec *Recorder) Drain(r *Registry) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	r.mu.Lock() // want `lock order inverted: lockfix.Registry.mu is acquired while holding lockfix.Recorder.mu`
+	r.count = 0
+	r.mu.Unlock()
+}
+
+// Add writes count under the lock: count is mu-protected state.
+func (r *Registry) Add(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count += n
+}
+
+// Snapshot reads count without the lock.
+func (r *Registry) Snapshot() int {
+	return r.count // want `field count of Registry is written under Registry.mu elsewhere`
+}
+
+// Count reads under the lock: fine.
+func (r *Registry) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// TryAdd unlocks on an early-return branch; the fallthrough write is
+// still under the lock and must not be reported.
+func (r *Registry) TryAdd(n int) bool {
+	r.mu.Lock()
+	if n < 0 {
+		r.mu.Unlock()
+		return false
+	}
+	r.count += n // ok: the early unlock is on the rejected branch only
+	r.mu.Unlock()
+	return true
+}
+
+// Hint reads a field that is never written under the lock: fine.
+func (rec *Recorder) Hint() int { return rec.hint }
+
+// SetHint writes hint without the lock, keeping it unguarded.
+func (rec *Recorder) SetHint(h int) { rec.hint = h }
+
+// Table and Journal expose their mutexes so importing packages can nest
+// them — the cross-package half of the ordering graph.
+type Table struct {
+	Mu   sync.Mutex
+	rows int
+}
+
+// Journal is the second exported-mutex type.
+type Journal struct {
+	Mu      sync.Mutex
+	entries int
+}
+
+// Commit locks Table then Journal, fixing the cross-package order.
+func Commit(t *Table, j *Journal) {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	j.Mu.Lock()
+	j.entries += t.rows
+	j.Mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package poolsafety_test
+
+import (
+	"testing"
+
+	"tca/internal/analysis/analysistest"
+	"tca/internal/analysis/poolsafety"
+)
+
+func TestPoolSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", poolsafety.Analyzer, "poolfix")
+}

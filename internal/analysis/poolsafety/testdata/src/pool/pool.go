@@ -1,0 +1,50 @@
+// Package pool is a fixture stand-in for pcie's TLP free list: a marked
+// pooled type in its own package, so the analyzer's object fact must cross
+// the package boundary to reach the consumer fixture.
+package pool
+
+// Packet is a recycled hot-path object.
+//
+//tca:pooled
+type Packet struct {
+	Addr uint64
+	Data []byte
+
+	pool *Pool
+}
+
+// Plain is an unmarked type: the analyzer must ignore its lifecycle.
+type Plain struct {
+	Addr uint64
+}
+
+// Pool is a LIFO free list of Packets.
+type Pool struct {
+	free []*Packet
+}
+
+// Get draws a Packet from the free list.
+func (p *Pool) Get() *Packet {
+	if n := len(p.free) - 1; n >= 0 {
+		t := p.free[n]
+		p.free = p.free[:n]
+		return t
+	}
+	return &Packet{pool: p}
+}
+
+// GetPlain draws an unmarked object; its results are not tracked.
+func (p *Pool) GetPlain() *Plain { return &Plain{} }
+
+// Release returns the packet to its pool.
+func (t *Packet) Release() {
+	p := t.pool
+	if p == nil {
+		return
+	}
+	t.pool = nil
+	p.free = append(p.free, t)
+}
+
+// Pin detaches the packet from its pool for long-lived aliases.
+func (t *Packet) Pin() { t.pool = nil }

@@ -1,0 +1,333 @@
+// Package sharedstate audits mutable state shared across component
+// domains. The simulator is single-threaded by design: every hardware
+// model owns its state and mutates it only from its own event callbacks,
+// which is why the engine needs no locks. That discipline is invisible to
+// the compiler — nothing stops a DMAC method from scribbling on a Switch
+// field, or two packages from writing the same package-level variable —
+// so this analyzer makes it checkable.
+//
+// A "component" is a type registered with the engine's profiler: any
+// struct carrying a field of type sim.CompID. Such types are marked with
+// an object fact in their defining package; importing packages see the
+// mark and the rules follow.
+//
+// Two rules:
+//
+//   - A field of a component must be written only from the component's
+//     own domain: its own methods, methods of a type construction-related
+//     to it (one embeds or points to the other), same-package free
+//     functions (constructors and wiring), or while a sync primitive is
+//     blessed (the writing function locks a mutex on the same receiver
+//     path, or writes through sync/atomic).
+//   - A package-level mutable variable must be written from at most one
+//     component domain. Writes from two different method domains — or
+//     from a second package, detected through a package fact listing the
+//     defining package's own writes — are reported.
+package sharedstate
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tca/internal/analysis/framework"
+)
+
+// componentFact marks a named struct type that carries a sim.CompID field
+// — the engine-registered components whose state ownership the analyzer
+// enforces.
+type componentFact struct {
+	// Name is the component type's name, carried for diagnostics.
+	Name string
+}
+
+// AFact implements framework.Fact.
+func (*componentFact) AFact() {}
+
+// pkgWritesFact lists the exported package-level variables the defining
+// package itself writes, so a second writing package can be detected
+// without whole-program analysis.
+type pkgWritesFact struct {
+	Vars []string
+}
+
+// AFact implements framework.Fact.
+func (*pkgWritesFact) AFact() {}
+
+// Analyzer reports component fields and package-level variables written
+// from more than one component domain without a blessed sync primitive.
+var Analyzer = &framework.Analyzer{
+	Name: "sharedstate",
+	Doc: `flag mutable state written from more than one component domain
+
+The engine is single-threaded and lock-free because each component (any
+struct with a sim.CompID field) owns its state. Writes to a component's
+fields from an unrelated component's methods, and writes to one
+package-level variable from two different domains or two different
+packages, break that ownership and are reported unless a sync primitive
+blesses them.`,
+	Run:       run,
+	FactTypes: []framework.Fact{(*componentFact)(nil), (*pkgWritesFact)(nil)},
+}
+
+func run(pass *framework.Pass) error {
+	exportComponents(pass)
+
+	type writer struct {
+		domain string
+		pos    ast.Node
+	}
+	pkgVarWriters := make(map[*types.Var][]writer)
+	var exportedWrites []string
+	seenExported := make(map[string]bool)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			domain := funcDomain(pass, fd)
+			blessed := locksAnything(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var lhss []ast.Expr
+				switch e := n.(type) {
+				case *ast.AssignStmt:
+					lhss = e.Lhs
+				case *ast.IncDecStmt:
+					lhss = []ast.Expr{e.X}
+				default:
+					return true
+				}
+				for _, lhs := range lhss {
+					// Rule 1: cross-domain component field write.
+					checkComponentWrite(pass, fd, lhs, blessed)
+
+					// Rule 2: package-level var write bookkeeping.
+					v := targetVar(pass, lhs)
+					if v == nil || v.Parent() == nil {
+						continue
+					}
+					if v.Pkg() == pass.Pkg && v.Parent() == pass.Pkg.Scope() {
+						if fd.Name.Name != "init" && !blessed {
+							pkgVarWriters[v] = append(pkgVarWriters[v], writer{domain: domain, pos: lhs})
+						}
+						if v.Exported() && !seenExported[v.Name()] {
+							seenExported[v.Name()] = true
+							exportedWrites = append(exportedWrites, v.Name())
+						}
+					} else if v.Pkg() != nil && v.Pkg() != pass.Pkg && v.Parent() == v.Pkg().Scope() {
+						// Writing another package's variable: shared if the
+						// defining package writes it too.
+						var fact pkgWritesFact
+						if pass.ImportPackageFact(v.Pkg(), &fact) && contains(fact.Vars, v.Name()) {
+							pass.Reportf(lhs.Pos(),
+								"package-level var %s.%s is written both by its own package and by %s; shared mutable state needs a single owner or a sync primitive",
+								v.Pkg().Name(), v.Name(), pass.Pkg.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Rule 2, intra-package: one variable, two domains.
+	for v, ws := range pkgVarWriters {
+		first := ws[0]
+		for _, w := range ws[1:] {
+			if w.domain != first.domain {
+				pass.Reportf(w.pos.Pos(),
+					"package-level var %s is written from component domains %s and %s without a sync primitive; give it a single owner",
+					v.Name(), first.domain, w.domain)
+				break
+			}
+		}
+	}
+
+	if len(exportedWrites) > 0 {
+		pass.ExportPackageFact(&pkgWritesFact{Vars: exportedWrites})
+	}
+	return nil
+}
+
+// exportComponents marks every struct type in this package that carries a
+// sim.CompID field.
+func exportComponents(pass *framework.Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, okN := tn.Type().(*types.Named)
+		if !okN {
+			continue
+		}
+		st, okS := named.Underlying().(*types.Struct)
+		if !okS {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			// The registration convention is an unexported field named
+			// comp: that is the attribution tag a component hands the
+			// engine. Exported CompID fields (result structs like
+			// prof.ComponentStats) are data, not registered components.
+			if f.Name() != "comp" || f.Exported() {
+				continue
+			}
+			if p, t, okT := framework.Named(f.Type()); okT && p == "sim" && t == "CompID" {
+				pass.ExportObjectFact(tn, &componentFact{Name: tn.Name()})
+				break
+			}
+		}
+	}
+}
+
+// checkComponentWrite flags `x.f = ...` where x is a component of a type
+// unrelated to the enclosing method's receiver.
+func checkComponentWrite(pass *framework.Pass, fd *ast.FuncDecl, lhs ast.Expr, blessed bool) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, okT := pass.TypesInfo.Types[sel.X]
+	if !okT {
+		return
+	}
+	compObj := componentType(pass, tv.Type)
+	if compObj == nil {
+		return
+	}
+	// Free functions in any package may wire components together —
+	// constructors and topology builders are the single-threaded setup
+	// phase, not a second domain.
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	recvType := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	recvObj := namedObj(recvType)
+	if recvObj == nil || recvObj == compObj {
+		return
+	}
+	if blessed || related(recvObj, compObj) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"field %s of component %s written from %s's domain; components own their state — route this through a %s method",
+		sel.Sel.Name, compObj.Name(), recvObj.Name(), compObj.Name())
+}
+
+// componentType returns the type object if t (possibly behind a pointer)
+// is a marked component.
+func componentType(pass *framework.Pass, t types.Type) *types.TypeName {
+	obj := namedObj(t)
+	if obj == nil {
+		return nil
+	}
+	var fact componentFact
+	if pass.ImportObjectFact(obj, &fact) {
+		return obj
+	}
+	return nil
+}
+
+func namedObj(t types.Type) *types.TypeName {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// related reports whether either struct type holds a field of (a pointer
+// to) the other — the containment relationship of a component and its
+// sub-units (a Chip owns its DMAC; the DMAC points back at its chip).
+func related(a, b *types.TypeName) bool {
+	return holdsField(a, b) || holdsField(b, a)
+}
+
+func holdsField(owner, part *types.TypeName) bool {
+	named, ok := owner.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	st, okS := named.Underlying().(*types.Struct)
+	if !okS {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if namedObj(st.Field(i).Type()) == part {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDomain names the component domain a function body runs in: the
+// receiver type for methods, the function's own name for free functions.
+func funcDomain(pass *framework.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if obj := namedObj(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)); obj != nil {
+			return obj.Name()
+		}
+	}
+	return "func " + fd.Name.Name
+}
+
+// locksAnything reports whether the body calls a Lock/RLock method or uses
+// sync/atomic — the blessed-synchronization escape hatch.
+func locksAnything(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, okS := call.Fun.(*ast.SelectorExpr); okS {
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				found = true
+			default:
+				if id, okI := sel.X.(*ast.Ident); okI && id.Name == "atomic" && strings.HasPrefix(sel.Sel.Name, "Store") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// targetVar resolves an assignment target to the variable it names: a
+// plain identifier, or a package-qualified one (otherpkg.Var).
+func targetVar(pass *framework.Pass, lhs ast.Expr) *types.Var {
+	if v := framework.RootVar(pass.TypesInfo, lhs); v != nil {
+		return v
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, okI := sel.X.(*ast.Ident)
+	if !okI {
+		return nil
+	}
+	if _, okP := pass.TypesInfo.ObjectOf(id).(*types.PkgName); !okP {
+		return nil
+	}
+	v, _ := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Var)
+	return v
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

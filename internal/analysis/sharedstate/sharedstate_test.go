@@ -1,0 +1,12 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"tca/internal/analysis/analysistest"
+	"tca/internal/analysis/sharedstate"
+)
+
+func TestSharedState(t *testing.T) {
+	analysistest.Run(t, "testdata", sharedstate.Analyzer, "sharedfix", "writerpkg")
+}

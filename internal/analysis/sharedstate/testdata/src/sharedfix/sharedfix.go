@@ -1,0 +1,101 @@
+// Package sharedfix exercises the sharedstate analyzer: cross-domain
+// component field writes, multi-domain package variable writes, and the
+// blessed patterns (ownership methods, containment, sync primitives).
+package sharedfix
+
+import (
+	"sync"
+
+	"sim"
+)
+
+// Chip is an engine-registered component (unexported comp sim.CompID).
+type Chip struct {
+	comp    sim.CompID
+	credits int
+	dmac    *DMAC
+}
+
+// DMAC is a sub-unit owned by Chip (containment: each points at the other).
+type DMAC struct {
+	comp sim.CompID
+	chip *Chip
+	busy bool
+}
+
+// Switch is an unrelated component.
+type Switch struct {
+	comp sim.CompID
+	mu   sync.Mutex
+	hops int
+}
+
+// Stats is plain data: its CompID field is exported, so it is not a
+// registered component and writes to it are unconstrained.
+type Stats struct {
+	ID   sim.CompID
+	Hops int
+}
+
+// seq is a package-level counter; issued is a second one.
+var seq uint64
+var issued uint64
+
+// Budget is an exported knob this package writes; a second writing
+// package turns it into cross-package shared state.
+var Budget = 8
+
+// Spend consumes budget from the Chip domain.
+func (c *Chip) Spend() { Budget-- }
+
+// SetCredits is the owner's method: fine.
+func (c *Chip) SetCredits(n int) { c.credits = n }
+
+// Start writes its chip's field from the DMAC, but DMAC and Chip are
+// construction-related (containment), so the domain is shared.
+func (d *DMAC) Start() {
+	d.busy = true
+	d.chip.credits--
+}
+
+// Route writes a Chip field from the Switch domain: a cross-domain write.
+func (s *Switch) Route(c *Chip) {
+	s.hops++
+	c.credits-- // want `field credits of component Chip written from Switch's domain`
+}
+
+// RouteLocked does the same under the switch's mutex: blessed.
+func (s *Switch) RouteLocked(c *Chip) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.credits-- // ok: a sync primitive is held
+}
+
+// Fill writes plain data carrying a CompID: not a component, no report.
+func (s *Switch) Fill(st *Stats) {
+	st.Hops = s.hops // ok: Stats is data, not a registered component
+}
+
+// NewChip wires components together from a free function: construction is
+// the single-threaded setup phase, not a second domain.
+func NewChip() *Chip {
+	c := &Chip{}
+	d := &DMAC{chip: c}
+	c.dmac = d
+	c.credits = 8 // ok: free functions may wire components
+	return c
+}
+
+// Bump writes seq from the Chip domain.
+func (c *Chip) Bump() { seq++ }
+
+// Bump writes seq from the Switch domain too: two domains, one variable.
+func (s *Switch) Bump() {
+	seq = seq + 1 // want `package-level var seq is written from component domains Chip and Switch`
+}
+
+// Issue and IssueMore both write issued, but from the same domain: fine.
+func (c *Chip) Issue() { issued++ }
+
+// IssueMore is the same domain writing again.
+func (c *Chip) IssueMore() { issued += 2 } // ok: single owning domain

@@ -1,0 +1,7 @@
+// Package sim is a fixture stand-in for the real engine: the sharedstate
+// analyzer identifies engine-registered components by their unexported
+// `comp sim.CompID` field.
+package sim
+
+// CompID mirrors the profiler's component attribution tag.
+type CompID int32

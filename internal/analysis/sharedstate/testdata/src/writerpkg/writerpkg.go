@@ -1,0 +1,14 @@
+// Package writerpkg writes a package-level variable that its defining
+// package also writes — the cross-package sharing the analyzer detects
+// through the defining package's exported-writes fact.
+package writerpkg
+
+import "sharedfix"
+
+// Tune overwrites a knob sharedfix itself mutates.
+func Tune() {
+	sharedfix.Budget = 16 // want `package-level var sharedfix.Budget is written both by its own package and by writerpkg`
+}
+
+// Peek only reads: reads are never reported.
+func Peek() int { return sharedfix.Budget }

@@ -253,12 +253,15 @@ func (g *GPU) Accept(now sim.Time, t *pcie.TLP, port *pcie.Port) units.Duration 
 				w.fn(now, DevicePtr(off), units.ByteSize(len(t.Data)))
 			}
 		}
+		// The write terminated in GDDR: the GPU is the packet's sink.
+		t.Release()
 		// "The GPU is assumed to be of sufficient size for the request
 		// queue from PCIe" (§IV-B2): credit returns immediately.
 		return 0
 	case pcie.MRd:
 		g.readTLPs++
 		req := *t
+		t.Release()
 		// The BAR translation unit works through the request in
 		// completion-sized units: a 512 B read costs two service slots.
 		// This is what pins inbound read bandwidth to ~256 B per

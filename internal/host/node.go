@@ -99,6 +99,13 @@ type Node struct {
 	dmaNext    uint64
 	idNext     pcie.DeviceID
 
+	// pool recycles the TLPs the node's CPU originates (PIO stores);
+	// storeFree and pollFree recycle the store-issue and poll-detect
+	// actions. All single-threaded, owned by the engine's event loop.
+	pool      pcie.TLPPool
+	storeFree []*storeAction
+	pollFree  []*pollAction
+
 	// Observability (nil when disabled).
 	rec *obsv.Recorder
 	// comp is the node's host-time attribution tag (0 when unprofiled):
@@ -283,16 +290,46 @@ func (n *Node) StoreTxn(a pcie.Addr, data []byte) uint64 {
 	if len(data) == 0 || len(data) > int(pcie.DefaultMaxPayload) {
 		panic(fmt.Sprintf("host %s: Store of %d bytes", n.name, len(data)))
 	}
-	buf := append([]byte(nil), data...)
 	txn := n.rec.NextTxn()
 	if txn != 0 {
 		n.rec.Record(obsv.Event{At: n.eng.Now(), Txn: txn, Stage: obsv.StageCPUStore,
 			Where: n.name, Addr: uint64(a)})
 	}
-	n.eng.AfterComp(n.comp, n.params.StoreLatency, func() {
-		n.rc.routeFromCPU(n.eng.Now(), &pcie.TLP{Kind: pcie.MWr, Addr: a, Data: buf, Last: true, Txn: txn})
-	})
+	t := n.pool.Get()
+	t.Kind = pcie.MWr
+	t.Addr = a
+	t.SetPayload(data)
+	t.Last = true
+	t.Txn = txn
+	n.eng.AfterAction(n.comp, n.params.StoreLatency, n.newStore(t))
 	return txn
+}
+
+// storeAction is the pooled store-issue event: after the uncached-store
+// latency the packet enters the fabric at the root complex. The TLP itself
+// is released downstream at its sink.
+type storeAction struct {
+	n *Node
+	t *pcie.TLP
+}
+
+func (n *Node) newStore(t *pcie.TLP) *storeAction {
+	if i := len(n.storeFree) - 1; i >= 0 {
+		a := n.storeFree[i]
+		n.storeFree[i] = nil
+		n.storeFree = n.storeFree[:i]
+		a.n, a.t = n, t
+		return a
+	}
+	return &storeAction{n: n, t: t}
+}
+
+// RunAction implements sim.Action.
+func (a *storeAction) RunAction(now sim.Time) {
+	n, t := a.n, a.t
+	*a = storeAction{}
+	n.storeFree = append(n.storeFree, a)
+	n.rc.routeFromCPU(now, t)
 }
 
 // Poll arranges fn to run when a device write lands in host memory at range
@@ -300,12 +337,39 @@ func (n *Node) StoreTxn(a pcie.Addr, data []byte) uint64 {
 // §IV-B1 step 6.
 func (n *Node) Poll(r pcie.Range, fn func(now sim.Time)) {
 	n.rc.watch(r, func(at sim.Time, txn uint64) {
-		n.eng.AfterComp(n.comp, n.params.PollDetectLatency, func() {
-			if txn != 0 && n.rec != nil {
-				n.rec.Record(obsv.Event{At: n.eng.Now(), Txn: txn,
-					Stage: obsv.StagePollSeen, Where: n.name, Addr: uint64(r.Base)})
-			}
-			fn(n.eng.Now())
-		})
+		n.eng.AfterAction(n.comp, n.params.PollDetectLatency, n.newPoll(fn, txn, r.Base))
 	})
+}
+
+// pollAction is the pooled poll-detection event: the spinning CPU loop
+// observes the landed write after the detection latency and runs the
+// registered callback.
+type pollAction struct {
+	n    *Node
+	fn   func(now sim.Time)
+	txn  uint64
+	base pcie.Addr
+}
+
+func (n *Node) newPoll(fn func(now sim.Time), txn uint64, base pcie.Addr) *pollAction {
+	if i := len(n.pollFree) - 1; i >= 0 {
+		a := n.pollFree[i]
+		n.pollFree[i] = nil
+		n.pollFree = n.pollFree[:i]
+		a.n, a.fn, a.txn, a.base = n, fn, txn, base
+		return a
+	}
+	return &pollAction{n: n, fn: fn, txn: txn, base: base}
+}
+
+// RunAction implements sim.Action.
+func (a *pollAction) RunAction(now sim.Time) {
+	n, fn, txn, base := a.n, a.fn, a.txn, a.base
+	*a = pollAction{}
+	n.pollFree = append(n.pollFree, a)
+	if txn != 0 && n.rec != nil {
+		n.rec.Record(obsv.Event{At: now, Txn: txn,
+			Stage: obsv.StagePollSeen, Where: n.name, Addr: uint64(base)})
+	}
+	fn(now)
 }

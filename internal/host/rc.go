@@ -126,6 +126,8 @@ func (rc *RootComplex) writeDRAM(now sim.Time, t *pcie.TLP) {
 			w.fn(now, t.Txn)
 		}
 	}
+	// The write terminated in DRAM: the root complex is the packet's sink.
+	t.Release()
 }
 
 // Accept implements pcie.Device for traffic arriving from the socket
@@ -169,6 +171,7 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 			if rc.faults.LoseCompletion() {
 				// The read is accepted but its completion never leaves:
 				// the requester's completion timeout must recover.
+				t.Release()
 				return 0
 			}
 			rc.outstanding++
@@ -180,6 +183,7 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 					Where: rc.DevName(), Addr: uint64(t.Addr), Cause: obsv.CauseOutstandingRead})
 			}
 			req := *t
+			t.Release()
 			reply := now.Add(rc.node.params.DRAMReadLatency)
 			rc.node.eng.AtComp(rc.node.comp, reply, func() {
 				data, err := rc.dram.ReadBytes(uint64(req.Addr), req.ReadLen)

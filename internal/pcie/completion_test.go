@@ -117,3 +117,90 @@ func TestTagTableAllocValidation(t *testing.T) {
 		tt.Alloc(8, nil)
 	}()
 }
+
+// TestTagTableDoubleCompletion drives a second Last completion at an
+// already-freed tag: it must be rejected as unknown and must not push the
+// tag onto the free list a second time, or Free() would grow past
+// capacity and a later Alloc could hand the same tag to two readers.
+func TestTagTableDoubleCompletion(t *testing.T) {
+	tt := NewTagTable(4)
+	tag, ok := tt.Alloc(2, func([]byte) {})
+	if !ok {
+		t.Fatal("Alloc failed on empty table")
+	}
+	done := &TLP{Kind: CplD, Tag: tag, Data: []byte{1, 2}, Last: true}
+	if err := tt.HandleCompletion(done); err != nil {
+		t.Fatal(err)
+	}
+	if tt.Free() != 4 {
+		t.Fatalf("Free = %d after completion, want 4", tt.Free())
+	}
+	if err := tt.HandleCompletion(done); err == nil {
+		t.Fatal("second completion on a freed tag not rejected")
+	}
+	if tt.Free() != 4 || tt.Outstanding() != 0 {
+		t.Fatalf("double completion grew the free list: Free=%d Outstanding=%d, want 4/0",
+			tt.Free(), tt.Outstanding())
+	}
+}
+
+// TestTagTableCancelAfterComplete cancels after the read already finished:
+// CancelAll must find nothing to cancel and must not re-free the tag.
+func TestTagTableCancelAfterComplete(t *testing.T) {
+	tt := NewTagTable(4)
+	tag, ok := tt.Alloc(1, func([]byte) {})
+	if !ok {
+		t.Fatal("Alloc failed on empty table")
+	}
+	if err := tt.HandleCompletion(&TLP{Kind: CplD, Tag: tag, Data: []byte{9}, Last: true}); err != nil {
+		t.Fatal(err)
+	}
+	if n := tt.CancelAll(); n != 0 {
+		t.Fatalf("CancelAll cancelled %d reads after completion, want 0", n)
+	}
+	if tt.Free() != 4 {
+		t.Fatalf("Free = %d after cancel-after-complete, want 4", tt.Free())
+	}
+}
+
+// TestTagTableDoubleCancel runs CancelAll twice: the second sweep must be
+// a no-op, keeping Free() at capacity.
+func TestTagTableDoubleCancel(t *testing.T) {
+	tt := NewTagTable(4)
+	for i := 0; i < 3; i++ {
+		if _, ok := tt.Alloc(1, func([]byte) { t.Fatal("cancelled read ran its callback") }); !ok {
+			t.Fatalf("Alloc %d failed", i)
+		}
+	}
+	if n := tt.CancelAll(); n != 3 {
+		t.Fatalf("first CancelAll = %d, want 3", n)
+	}
+	if n := tt.CancelAll(); n != 0 {
+		t.Fatalf("second CancelAll = %d, want 0", n)
+	}
+	if tt.Free() != 4 || tt.Outstanding() != 0 {
+		t.Fatalf("double cancel corrupted the table: Free=%d Outstanding=%d, want 4/0",
+			tt.Free(), tt.Outstanding())
+	}
+}
+
+// TestTagTableCancelThenStaleCompletion cancels an outstanding read and
+// then delivers its (now stale) completion: the completion must be
+// rejected and the free list must stay at capacity — the fabric can
+// legitimately deliver a completion for a read the requester abandoned.
+func TestTagTableCancelThenStaleCompletion(t *testing.T) {
+	tt := NewTagTable(4)
+	tag, ok := tt.Alloc(1, func([]byte) { t.Fatal("cancelled read ran its callback") })
+	if !ok {
+		t.Fatal("Alloc failed on empty table")
+	}
+	if n := tt.CancelAll(); n != 1 {
+		t.Fatalf("CancelAll = %d, want 1", n)
+	}
+	if err := tt.HandleCompletion(&TLP{Kind: CplD, Tag: tag, Data: []byte{1}, Last: true}); err == nil {
+		t.Fatal("stale completion after cancel not rejected")
+	}
+	if tt.Free() != 4 {
+		t.Fatalf("stale completion grew the free list: Free=%d, want 4", tt.Free())
+	}
+}

@@ -175,6 +175,10 @@ func (l *Link) divertDead(now sim.Time, di int, t *TLP) {
 // the TLP (not merely until the frame lands), so lost frames keep
 // backpressuring the sender until replay gets them through.
 func (l *Link) dllTransmit(now sim.Time, d *linkDir, di int, t *TLP) {
+	// The replay buffer aliases the packet beyond its delivery (a replay
+	// round retransmits it, reading its wire size), so it must never be
+	// recycled underneath the buffer: detach it from its pool for good.
+	t.Pin()
 	dd := &l.dll.dirs[di]
 	d.inFlight++
 	e := dllEntry{seq: dd.nextSeq, tlp: t}

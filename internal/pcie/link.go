@@ -132,6 +132,11 @@ type Link struct {
 	// original lossless fast path — same events, same schedule.
 	dll *dll
 
+	// deliverFree recycles the two-phase delivery actions of the lossless
+	// fast path, so steady-state traffic schedules arrival and drain
+	// without allocating.
+	deliverFree []*deliverAction
+
 	// Observability (nil when disabled — all updates are no-ops then).
 	obsName  string
 	rec      *obsv.Recorder
@@ -332,19 +337,55 @@ func (l *Link) transmit(now sim.Time, d *linkDir, di int, t *TLP) {
 			Where: l.obsName, Port: d.dst.Label, Addr: uint64(t.Addr)})
 	}
 	arrive := start.Add(ser).Add(l.params.Propagation)
-	l.eng.AtComp(l.comp, arrive, func() {
-		drain := d.dst.owner.Accept(l.eng.Now(), t, d.dst)
+	l.eng.AtAction(l.comp, arrive, l.newDeliver(d, di, t))
+}
+
+// deliverAction is the pooled two-phase delivery event of the lossless fast
+// path: phase one hands the TLP to the receiving device and reschedules
+// itself for the drain delay; phase two returns the flow-control credit and
+// pumps the queue. It replaces the pair of closures that used to make every
+// link hop cost two heap allocations — the same two events now run off one
+// recycled struct.
+type deliverAction struct {
+	l        *Link
+	d        *linkDir
+	di       int
+	t        *TLP
+	draining bool
+}
+
+func (l *Link) newDeliver(d *linkDir, di int, t *TLP) *deliverAction {
+	if n := len(l.deliverFree) - 1; n >= 0 {
+		a := l.deliverFree[n]
+		l.deliverFree[n] = nil
+		l.deliverFree = l.deliverFree[:n]
+		a.l, a.d, a.di, a.t = l, d, di, t
+		return a
+	}
+	return &deliverAction{l: l, d: d, di: di, t: t}
+}
+
+// RunAction implements sim.Action.
+func (a *deliverAction) RunAction(now sim.Time) {
+	if !a.draining {
+		t := a.t
+		a.t = nil // the receiver owns (and may release) the packet now
+		drain := a.d.dst.owner.Accept(now, t, a.d.dst)
 		if drain < 0 {
-			panic(fmt.Sprintf("pcie: negative drain %v from %s", drain, d.dst.owner.DevName()))
+			panic(fmt.Sprintf("pcie: negative drain %v from %s", drain, a.d.dst.owner.DevName()))
 		}
-		l.eng.AfterComp(l.comp, drain, func() {
-			d.inFlight--
-			if d.inFlight < 0 {
-				panic("pcie: credit underflow")
-			}
-			l.pump(l.eng.Now(), d, di)
-		})
-	})
+		a.draining = true
+		a.l.eng.AfterAction(a.l.comp, drain, a)
+		return
+	}
+	l, d, di := a.l, a.d, a.di
+	*a = deliverAction{}
+	l.deliverFree = append(l.deliverFree, a)
+	d.inFlight--
+	if d.inFlight < 0 {
+		panic("pcie: credit underflow")
+	}
+	l.pump(now, d, di)
 }
 
 // pump moves queued TLPs onto the wire as capacity frees up. Without a

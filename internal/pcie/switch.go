@@ -43,6 +43,10 @@ type Switch struct {
 	// comp is the switch's host-time attribution tag (0 when unprofiled).
 	comp sim.CompID
 
+	// fwdFree recycles crossbar-forward actions so steady-state forwarding
+	// allocates nothing.
+	fwdFree []*switchFwdAction
+
 	// rec records crossbar-arrival span events for traced packets (nil
 	// when uninstrumented).
 	rec *obsv.Recorder
@@ -120,10 +124,36 @@ func (s *Switch) Accept(now sim.Time, t *TLP, in *Port) units.Duration {
 		s.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageSwitch,
 			Where: s.name, Port: in.Label, Addr: uint64(t.Addr), Note: "egress " + out.Label})
 	}
-	s.eng.AfterComp(s.comp, s.params.ForwardLatency, func() {
-		out.Send(s.eng.Now(), t)
-	})
+	s.eng.AfterAction(s.comp, s.params.ForwardLatency, s.newFwd(out, t))
 	return s.params.IngressDrain
+}
+
+// switchFwdAction is the pooled crossbar-forward event: after the forward
+// latency it sends the packet out of the routed egress and returns itself
+// to the switch's free list.
+type switchFwdAction struct {
+	s   *Switch
+	out *Port
+	t   *TLP
+}
+
+func (s *Switch) newFwd(out *Port, t *TLP) *switchFwdAction {
+	if n := len(s.fwdFree) - 1; n >= 0 {
+		a := s.fwdFree[n]
+		s.fwdFree[n] = nil
+		s.fwdFree = s.fwdFree[:n]
+		a.s, a.out, a.t = s, out, t
+		return a
+	}
+	return &switchFwdAction{s: s, out: out, t: t}
+}
+
+// RunAction implements sim.Action.
+func (a *switchFwdAction) RunAction(now sim.Time) {
+	s, out, t := a.s, a.out, a.t
+	*a = switchFwdAction{}
+	s.fwdFree = append(s.fwdFree, a)
+	out.Send(now, t)
 }
 
 // route picks the egress port for t arriving on in.

@@ -72,6 +72,12 @@ type DeviceID uint16
 
 // TLP is a Transaction Layer Packet. One value moves through the fabric by
 // pointer; links and routers never copy payloads.
+//
+// TLPs on the hot path are drawn from a TLPPool (see pool.go) and returned
+// at their sink; the poolsafety analyzer enforces the Get/Release/Pin
+// lifecycle through the marker below.
+//
+//tca:pooled
 type TLP struct {
 	Kind Kind
 	// Addr is the target bus address for MWr/MRd.
@@ -101,6 +107,14 @@ type TLP struct {
 	// store and DMA chain tags its packets so each hop can record a span
 	// event (internal/obsv). Zero means "untraced" and records nothing.
 	Txn uint64
+
+	// pool is the free list Release returns the packet to; nil for
+	// unpooled packets (composite literals, SplitWrite products) and after
+	// Pin or Release. See pool.go.
+	pool *TLPPool
+	// scratch is the retained payload buffer SetPayload copies into; its
+	// capacity survives Release so steady-state traffic stops allocating.
+	scratch []byte
 }
 
 // PayloadLen reports the packet's payload byte count.

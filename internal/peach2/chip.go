@@ -45,6 +45,14 @@ type Chip struct {
 	// until a route reprogram re-injects them (flushParked).
 	parked []*pcie.TLP
 
+	// pool recycles the TLPs the chip originates (flush acks, converted
+	// Port-N copies of foreign packets); ringFree and nFree recycle the
+	// router's forward actions. All single-threaded, owned by the engine's
+	// event loop.
+	pool     pcie.TLPPool
+	ringFree []*ringFwdAction
+	nFree    []*nFwdAction
+
 	// Stats
 	forwarded [numPorts]uint64 // by egress
 	converted uint64
@@ -241,6 +249,10 @@ func (c *Chip) LinkDead(now sim.Time, id PortID, salvaged []*pcie.TLP) {
 // parkTLP strands one TLP on the chip until a route reprogram re-injects
 // it.
 func (c *Chip) parkTLP(now sim.Time, t *pcie.TLP) {
+	// Parked packets outlive every normal delivery lifetime (they wait for
+	// a NIOS route reprogram), so they must never return to a pool while
+	// the parked list still aliases them.
+	t.Pin()
 	c.parked = append(c.parked, t)
 	if c.rec != nil && t.Txn != 0 {
 		c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageLinkDown,
@@ -456,13 +468,39 @@ func (c *Chip) forwardRing(now sim.Time, t *pcie.TLP, out PortID) {
 		c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageRoute,
 			Where: c.name, Port: out.String(), Addr: uint64(t.Addr)})
 	}
-	c.eng.AfterComp(c.comp, c.params.RouterLatency, func() {
-		if c.rec != nil && t.Txn != 0 {
-			c.rec.Record(obsv.Event{At: c.eng.Now(), Txn: t.Txn, Stage: obsv.StagePortOut,
-				Where: c.name, Port: out.String(), Addr: uint64(t.Addr)})
-		}
-		c.ports[out].Send(c.eng.Now(), t)
-	})
+	c.eng.AfterAction(c.comp, c.params.RouterLatency, c.newRingFwd(t, out))
+}
+
+// ringFwdAction is the pooled router-pipeline event of a ring forward:
+// after the router latency it emits the packet out of the chosen ring port
+// and returns itself to the chip's free list.
+type ringFwdAction struct {
+	c   *Chip
+	t   *pcie.TLP
+	out PortID
+}
+
+func (c *Chip) newRingFwd(t *pcie.TLP, out PortID) *ringFwdAction {
+	if n := len(c.ringFree) - 1; n >= 0 {
+		a := c.ringFree[n]
+		c.ringFree[n] = nil
+		c.ringFree = c.ringFree[:n]
+		a.c, a.t, a.out = c, t, out
+		return a
+	}
+	return &ringFwdAction{c: c, t: t, out: out}
+}
+
+// RunAction implements sim.Action.
+func (a *ringFwdAction) RunAction(now sim.Time) {
+	c, t, out := a.c, a.t, a.out
+	*a = ringFwdAction{}
+	c.ringFree = append(c.ringFree, a)
+	if c.rec != nil && t.Txn != 0 {
+		c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StagePortOut,
+			Where: c.name, Port: out.String(), Addr: uint64(t.Addr)})
+	}
+	c.ports[out].Send(now, t)
 }
 
 // forwardN converts (if needed) and emits a packet toward the local host
@@ -476,8 +514,6 @@ func (c *Chip) forwardN(now sim.Time, t *pcie.TLP) {
 		c.converted++
 		lat += c.params.NConvLatency
 	}
-	out := *t
-	out.Addr = local
 	c.forwarded[PortN]++
 	c.cm.tlpsOut[PortN].Inc()
 	c.cm.bytesOut[PortN].Add(uint64(t.WireBytes()))
@@ -500,21 +536,79 @@ func (c *Chip) forwardN(now sim.Time, t *pcie.TLP) {
 				Where: c.name, Port: "N", Addr: uint64(t.Addr)})
 		}
 	}
-	c.eng.AfterComp(c.comp, lat, func() {
-		if c.rec != nil && t.Txn != 0 {
-			c.rec.Record(obsv.Event{At: c.eng.Now(), Txn: t.Txn, Stage: obsv.StagePortOut,
-				Where: c.name, Port: "N", Addr: uint64(local)})
-		}
-		c.ports[PortN].Send(c.eng.Now(), &out)
-		if t.Flush {
-			delay := units.Duration(0)
-			if class == ClassHost {
-				delay = c.params.DMA.HostFlushDelay
-			}
-			c.eng.AfterComp(c.comp, delay, func() { c.sendFlushAck(t.Requester, t.Txn) })
-		}
-	})
+	// Everything the ack path needs is read before ownership of t changes
+	// hands below: the pooled packet may be recycled (and its fields
+	// rewritten) as soon as it reaches the host sink.
+	flush, req, txn := t.Flush, t.Requester, t.Txn
+	out := t
+	if !t.Pooled() {
+		// The creator may retain the packet (an upstream DLL replay buffer,
+		// a test fixture), so the converted address must live in a copy —
+		// drawn from the chip's pool so the per-forward allocation the old
+		// `out := *t` paid disappears on the lossless path.
+		out = c.pool.Get()
+		out.Kind = t.Kind
+		out.ReadLen = t.ReadLen
+		out.Requester = t.Requester
+		out.Tag = t.Tag
+		out.Relaxed = t.Relaxed
+		out.Last = t.Last
+		out.Flush = t.Flush
+		out.Txn = t.Txn
+		out.SetPayload(t.Data)
+	}
+	out.Addr = local
+	c.eng.AfterAction(c.comp, lat, c.newNFwd(out, local, flush, class, req, txn))
 }
+
+// nFwdAction is the pooled router-pipeline event of a Port-N forward: after
+// the router (plus conversion) latency it emits the converted packet toward
+// the host fabric and, for flushed packets, schedules the delivery
+// acknowledgement back to the source chip.
+type nFwdAction struct {
+	c     *Chip
+	t     *pcie.TLP
+	local pcie.Addr
+	flush bool
+	class BlockClass
+	req   pcie.DeviceID
+	txn   uint64
+}
+
+func (c *Chip) newNFwd(t *pcie.TLP, local pcie.Addr, flush bool, class BlockClass, req pcie.DeviceID, txn uint64) *nFwdAction {
+	if n := len(c.nFree) - 1; n >= 0 {
+		a := c.nFree[n]
+		c.nFree[n] = nil
+		c.nFree = c.nFree[:n]
+		a.c, a.t, a.local, a.flush, a.class, a.req, a.txn = c, t, local, flush, class, req, txn
+		return a
+	}
+	return &nFwdAction{c: c, t: t, local: local, flush: flush, class: class, req: req, txn: txn}
+}
+
+// RunAction implements sim.Action.
+func (a *nFwdAction) RunAction(now sim.Time) {
+	c, t, local := a.c, a.t, a.local
+	flush, class, req, txn := a.flush, a.class, a.req, a.txn
+	*a = nFwdAction{}
+	c.nFree = append(c.nFree, a)
+	if c.rec != nil && txn != 0 {
+		c.rec.Record(obsv.Event{At: now, Txn: txn, Stage: obsv.StagePortOut,
+			Where: c.name, Port: "N", Addr: uint64(local)})
+	}
+	c.ports[PortN].Send(now, t)
+	if flush {
+		delay := units.Duration(0)
+		if class == ClassHost {
+			delay = c.params.DMA.HostFlushDelay
+		}
+		c.eng.AfterComp(c.comp, delay, func() { c.sendFlushAck(req, txn) })
+	}
+}
+
+// ackWord is the 8-byte flush-acknowledgement payload; read-only after
+// package init (SetPayload copies it into the ack packet's own buffer).
+var ackWord = [8]byte{1}
 
 // sendFlushAck writes the source chip's ack word through the ring. The ack
 // inherits the flushed packet's transaction ID so a traced chain sees its
@@ -527,14 +621,13 @@ func (c *Chip) sendFlushAck(req pcie.DeviceID, txn uint64) {
 	if !ok {
 		panic(fmt.Sprintf("peach2 %s: flush ack for unknown requester %d", c.name, req))
 	}
-	ack := &pcie.TLP{
-		Kind:      pcie.MWr,
-		Addr:      c.plan.AckAddrOf(node),
-		Data:      []byte{1, 0, 0, 0, 0, 0, 0, 0},
-		Requester: c.id,
-		Last:      true,
-		Txn:       txn,
-	}
+	ack := c.pool.Get()
+	ack.Kind = pcie.MWr
+	ack.Addr = c.plan.AckAddrOf(node)
+	ack.SetPayload(ackWord[:])
+	ack.Requester = c.id
+	ack.Last = true
+	ack.Txn = txn
 	c.acksSent++
 	c.cm.acksSent.Inc()
 	dst, err := c.route(ack.Addr)
@@ -577,6 +670,8 @@ func (c *Chip) acceptInternalWrite(now sim.Time, t *pcie.TLP) {
 			c.sendFlushAck(t.Requester, t.Txn)
 		}
 	}
+	// The write terminated here: the chip is the packet's sink.
+	t.Release()
 }
 
 // writeRegister decodes a control-register store. Registers are 8-byte
@@ -636,6 +731,8 @@ func (c *Chip) writeRouteRegister(off uint64, data []byte) {
 func (c *Chip) serveInternalRead(now sim.Time, t *pcie.TLP, in *pcie.Port) {
 	off := uint64(t.Addr - c.plan.Internal.Base)
 	req := *t
+	// The request terminated here; the reply below works from the copy.
+	t.Release()
 	c.eng.AfterComp(c.comp, c.params.NConvLatency, func() {
 		var data []byte
 		switch {

@@ -526,16 +526,15 @@ func (d *DMAC) issueWrite(addr pcie.Addr, srcOff uint64, n units.ByteSize, relax
 		d.mTLPs.Inc()
 		final := d.writeTLPsIssued == d.totalWriteTLPs
 		d.recordIssueWait(final, reservedAt, slot)
-		tlp := &pcie.TLP{
-			Kind:      pcie.MWr,
-			Addr:      addr,
-			Data:      data,
-			Requester: d.chip.id,
-			Relaxed:   relaxed,
-			Last:      final,
-			Flush:     final && d.waitAck,
-			Txn:       d.txn,
-		}
+		tlp := d.chip.pool.Get()
+		tlp.Kind = pcie.MWr
+		tlp.Addr = addr
+		tlp.Data = data
+		tlp.Requester = d.chip.id
+		tlp.Relaxed = relaxed
+		tlp.Last = final
+		tlp.Flush = final && d.waitAck
+		tlp.Txn = d.txn
 		d.recordIssue(tlp, final)
 		d.sendFromDMAC(tlp)
 		d.maybeComplete()
@@ -587,16 +586,15 @@ func (d *DMAC) issueWriteData(addr pcie.Addr, data []byte, relaxed bool) {
 		d.mTLPs.Inc()
 		final := d.writeTLPsIssued == d.totalWriteTLPs
 		d.recordIssueWait(final, reservedAt, slot)
-		tlp := &pcie.TLP{
-			Kind:      pcie.MWr,
-			Addr:      addr,
-			Data:      data,
-			Requester: d.chip.id,
-			Relaxed:   relaxed,
-			Last:      final,
-			Flush:     final && d.waitAck,
-			Txn:       d.txn,
-		}
+		tlp := d.chip.pool.Get()
+		tlp.Kind = pcie.MWr
+		tlp.Addr = addr
+		tlp.Data = data
+		tlp.Requester = d.chip.id
+		tlp.Relaxed = relaxed
+		tlp.Last = final
+		tlp.Flush = final && d.waitAck
+		tlp.Txn = d.txn
 		d.recordIssue(tlp, final)
 		d.sendFromDMAC(tlp)
 		d.maybeComplete()
@@ -619,11 +617,17 @@ func (d *DMAC) sendFromDMAC(t *pcie.TLP) {
 			d.chip.converted++
 			d.chip.cm.converted.Inc()
 		}
-		c := *t
-		c.Addr = local
+		out := t
+		if !t.Pooled() {
+			// An unpooled packet may be retained by its creator; the
+			// converted address must live in a copy.
+			c := *t
+			out = &c
+		}
+		out.Addr = local
 		d.chip.cm.tlpsOut[PortN].Inc()
-		d.chip.cm.bytesOut[PortN].Add(uint64(c.WireBytes()))
-		d.chip.ports[PortN].Send(d.chip.eng.Now(), &c)
+		d.chip.cm.bytesOut[PortN].Add(uint64(out.WireBytes()))
+		d.chip.ports[PortN].Send(d.chip.eng.Now(), out)
 	default:
 		if d.chip.portDead[out] {
 			d.chip.parkTLP(d.chip.eng.Now(), t)
@@ -817,7 +821,11 @@ func (d *DMAC) ChainErrors() uint64 { return d.errs }
 // read was cancelled by failChain, or a retry raced the original reply —
 // so mismatches are logged and dropped instead of treated as fabric bugs.
 func (d *DMAC) handleCompletion(t *pcie.TLP) {
-	if err := d.tags.HandleCompletion(t); err != nil {
+	err := d.tags.HandleCompletion(t)
+	// The completion terminated here either way: release before any error
+	// handling so the stale-completion path cannot leak pooled packets.
+	t.Release()
+	if err != nil {
 		if d.chip.faults.Enabled() {
 			d.chip.nios.logEvent(fmt.Sprintf("dropped stale completion: %v", err))
 			return

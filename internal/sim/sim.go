@@ -46,13 +46,26 @@ type Executor interface {
 	ExecEvent(comp CompID, fn func())
 }
 
+// Action is the allocation-free alternative to a func() callback: a
+// component implements RunAction on a reusable struct (typically drawn from
+// a per-component free list) and schedules it with AtAction/AfterAction.
+// Scheduling an Action costs zero heap allocations on the bare engine,
+// which is what keeps the TLP hot path under the allocs/event gate; a
+// func() closure, by contrast, allocates its capture environment on every
+// schedule. RunAction receives the engine clock at dispatch time.
+type Action interface {
+	RunAction(now Time)
+}
+
 // event is a scheduled callback. seq breaks timestamp ties so that events
 // scheduled earlier run earlier — the property that makes runs deterministic.
+// Exactly one of fn and act is set.
 type event struct {
 	at   Time
 	seq  uint64
 	comp CompID
 	fn   func()
+	act  Action
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
@@ -140,6 +153,21 @@ func (e *Engine) AfterComp(comp CompID, d units.Duration, fn func()) {
 	e.schedule(comp, e.now.Add(d), fn)
 }
 
+// AtAction schedules a to run at absolute time t under component comp. It is
+// the zero-allocation counterpart of AtComp: the Action value is stored in
+// the event queue directly, so a pooled action struct round-trips through
+// the engine without touching the heap.
+func (e *Engine) AtAction(comp CompID, t Time, a Action) { e.scheduleAction(comp, t, a) }
+
+// AfterAction schedules a to run d after the current time under component
+// comp — the zero-allocation counterpart of AfterComp. Negative d panics.
+func (e *Engine) AfterAction(comp CompID, d units.Duration, a Action) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.scheduleAction(comp, e.now.Add(d), a)
+}
+
 func (e *Engine) schedule(comp CompID, t Time, fn func()) {
 	if fn == nil {
 		panic("sim: At called with nil callback")
@@ -149,6 +177,20 @@ func (e *Engine) schedule(comp CompID, t Time, fn func()) {
 	}
 	e.seq++
 	e.push(event{at: t, seq: e.seq, comp: comp, fn: fn})
+	if len(e.queue) > e.hiWater {
+		e.hiWater = len(e.queue)
+	}
+}
+
+func (e *Engine) scheduleAction(comp CompID, t Time, a Action) {
+	if a == nil {
+		panic("sim: AtAction called with nil action")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, comp: comp, act: a})
 	if len(e.queue) > e.hiWater {
 		e.hiWater = len(e.queue)
 	}
@@ -211,10 +253,20 @@ func (e *Engine) Step() bool {
 	e.executed++
 	e.inHandler = true
 	e.curComp = ev.comp
-	if e.exec != nil {
-		e.exec.ExecEvent(ev.comp, ev.fn)
-	} else {
+	switch {
+	case e.exec == nil && ev.act != nil:
+		ev.act.RunAction(e.now)
+	case e.exec == nil:
 		ev.fn()
+	case ev.act != nil:
+		// Profiled runs wrap the action in an adapter closure. That
+		// allocation is acceptable: the allocs/event baseline is collected
+		// with the executor detached, and attaching a profiler never
+		// changes simulation results, only host-side cost.
+		act := ev.act
+		e.exec.ExecEvent(ev.comp, func() { act.RunAction(e.now) })
+	default:
+		e.exec.ExecEvent(ev.comp, ev.fn)
 	}
 	e.curComp = 0
 	e.inHandler = false
