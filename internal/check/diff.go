@@ -1,0 +1,106 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+
+	"tca/internal/scenariogen"
+)
+
+// DiffResult is the differential replay verdict for one scenario: the
+// run is executed twice for determinism, and — when the faulty run fully
+// recovered — once more on a perfect fabric to prove faults changed
+// timing but never final memory contents.
+type DiffResult struct {
+	Faulty *Result
+	Repeat *Result
+	// Perfect is the fault-free baseline (nil when the spec has no
+	// faults — the faulty run already is the baseline).
+	Perfect *Result
+
+	DeterminismOK bool
+	// MemoryChecked reports whether the faulty-vs-perfect memory diff
+	// was applicable (faults present and fully recovered); MemoryOK is
+	// its verdict.
+	MemoryChecked bool
+	MemoryOK      bool
+
+	// Failures lists every reason this scenario failed the checker, in
+	// a stable, human-readable form. Empty means the scenario passed.
+	Failures []string
+}
+
+// Failed reports whether any invariant broke.
+func (d *DiffResult) Failed() bool { return len(d.Failures) > 0 }
+
+// RunDiff executes the full differential protocol on one spec.
+func RunDiff(spec scenariogen.Spec, opt Options) (*DiffResult, error) {
+	d := &DiffResult{}
+	var err error
+	if d.Faulty, err = Run(spec, opt); err != nil {
+		return nil, err
+	}
+	if d.Repeat, err = Run(spec, opt); err != nil {
+		return nil, err
+	}
+	d.DeterminismOK = bytes.Equal(d.Faulty.Transcript, d.Repeat.Transcript)
+	if !d.DeterminismOK {
+		d.Failures = append(d.Failures, "determinism: two runs of the same spec diverged"+
+			transcriptDiff(d.Faulty.Transcript, d.Repeat.Transcript))
+	}
+	for _, v := range d.Faulty.Violations {
+		d.Failures = append(d.Failures, "invariant: "+v.String())
+	}
+
+	if spec.Faults != "" && !opt.PerfectFabric {
+		perfect := spec
+		perfect.Faults = ""
+		if d.Perfect, err = Run(perfect, Options{}); err != nil {
+			return nil, err
+		}
+		for _, v := range d.Perfect.Violations {
+			d.Failures = append(d.Failures, "invariant (perfect fabric): "+v.String())
+		}
+		if d.Faulty.FullyRecovered && len(d.Faulty.Violations) == 0 &&
+			len(d.Perfect.Violations) == 0 && d.Perfect.FullyRecovered {
+			d.MemoryChecked = true
+			d.MemoryOK = bytes.Equal(d.Faulty.FinalMem, d.Perfect.FinalMem)
+			if !d.MemoryOK {
+				d.Failures = append(d.Failures, fmt.Sprintf(
+					"differential: faults changed final memory (first divergence at byte %d of %d)",
+					firstDiff(d.Faulty.FinalMem, d.Perfect.FinalMem), len(d.Perfect.FinalMem)))
+			}
+		}
+	}
+	return d, nil
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// transcriptDiff renders the first diverging transcript line for the
+// failure message.
+func transcriptDiff(a, b []byte) string {
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return fmt.Sprintf(" (line %d: %q vs %q)", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf(" (transcript lengths %d vs %d)", len(la), len(lb))
+}

@@ -2,14 +2,52 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"tca/internal/units"
 )
 
-// ParseScenario builds a Profile from the CLI's compact scenario syntax:
-// comma-separated clauses, each `kind:args`. The seed is supplied
+// ScenarioError reports a syntax or range error in a scenario spec with the
+// exact position of the offending token, so a failing clause in a committed
+// multi-line spec file can be found without counting commas.
+type ScenarioError struct {
+	Line  int    // 1-based line of the offending token
+	Col   int    // 1-based column (byte offset within the line) of the token
+	Token string // the offending token text, verbatim
+	Msg   string // what is wrong with it
+}
+
+// Error implements error.
+func (e *ScenarioError) Error() string {
+	return fmt.Sprintf("fault: scenario %d:%d: %q: %s", e.Line, e.Col, e.Token, e.Msg)
+}
+
+// scenarioPos converts a byte offset into spec to a 1-based line/column.
+func scenarioPos(spec string, off int) (line, col int) {
+	line = 1
+	lastNL := -1
+	if off > len(spec) {
+		off = len(spec)
+	}
+	for i := 0; i < off; i++ {
+		if spec[i] == '\n' {
+			line++
+			lastNL = i
+		}
+	}
+	return line, off - lastNL
+}
+
+// scenarioErr builds a positioned *ScenarioError for the token at off.
+func scenarioErr(spec string, off int, token, msg string) error {
+	line, col := scenarioPos(spec, off)
+	return &ScenarioError{Line: line, Col: col, Token: token, Msg: msg}
+}
+
+// ParseScenario builds a Profile from the scenario spec syntax: clauses
+// separated by commas or newlines, each `kind:args`. The seed is supplied
 // separately (the -seed flag) so the same scenario can be replayed under
 // different random streams.
 //
@@ -23,68 +61,135 @@ import (
 // Durations take ps/ns/us/ms/s suffixes. Example:
 //
 //	linkdown:2e:50us,ber:1e-7
+//
+// Errors are *ScenarioError values carrying the line/column and offending
+// token. FormatScenario is the inverse: ParseScenario(FormatScenario(p))
+// reproduces p for any p that ParseScenario can produce.
 func ParseScenario(spec string, seed int64) (Profile, error) {
 	prof := Profile{Seed: seed}
-	if strings.TrimSpace(spec) == "" {
-		return Profile{}, fmt.Errorf("fault: empty scenario")
-	}
-	for _, clause := range strings.Split(spec, ",") {
-		clause = strings.TrimSpace(clause)
-		parts := strings.Split(clause, ":")
-		kind := parts[0]
-		args := parts[1:]
-		switch kind {
-		case "linkdown":
-			if len(args) < 2 || len(args) > 3 {
-				return Profile{}, fmt.Errorf("fault: %q wants linkdown:<link>:<at>[:<dur>]", clause)
-			}
-			at, err := parseDuration(args[1])
-			if err != nil {
-				return Profile{}, fmt.Errorf("fault: %q: %v", clause, err)
-			}
-			w := DownWindow{Link: args[0], At: at}
-			if len(args) == 3 {
-				if w.For, err = parseDuration(args[2]); err != nil {
-					return Profile{}, fmt.Errorf("fault: %q: %v", clause, err)
-				}
-				if w.For <= 0 {
-					return Profile{}, fmt.Errorf("fault: %q: outage length must be positive", clause)
-				}
-			}
-			prof.Down = append(prof.Down, w)
-		case "ber", "drop", "corrupt", "losecpl":
-			if len(args) != 1 {
-				return Profile{}, fmt.Errorf("fault: %q wants %s:<probability>", clause, kind)
-			}
-			p, err := strconv.ParseFloat(args[0], 64)
-			if err != nil || p < 0 || p > 1 {
-				return Profile{}, fmt.Errorf("fault: %q: probability must be in [0, 1]", clause)
-			}
-			switch kind {
-			case "ber":
-				prof.BER = p
-			case "drop":
-				prof.Drop = p
-			case "corrupt":
-				prof.Corrupt = p
-			case "losecpl":
-				prof.LoseCpl = p
-			}
-		case "stuck":
-			if len(args) != 1 {
-				return Profile{}, fmt.Errorf("fault: %q wants stuck:<descriptor-index>", clause)
-			}
-			idx, err := strconv.Atoi(args[0])
-			if err != nil || idx < 0 {
-				return Profile{}, fmt.Errorf("fault: %q: descriptor index must be a non-negative integer", clause)
-			}
-			prof.Stuck = true
-			prof.StuckIndex = idx
-		default:
-			return Profile{}, fmt.Errorf("fault: unknown scenario clause %q (want linkdown/ber/drop/corrupt/losecpl/stuck)", clause)
+	sawClause := false
+	for start := 0; start <= len(spec); {
+		end := len(spec)
+		next := len(spec) + 1
+		if rel := strings.IndexAny(spec[start:], ",\n"); rel >= 0 {
+			end = start + rel
+			next = end + 1
 		}
+		raw := spec[start:end]
+		lead := len(raw) - len(strings.TrimLeft(raw, " \t\r"))
+		clause := strings.TrimSpace(raw)
+		if clause != "" {
+			if err := parseClause(&prof, spec, clause, start+lead); err != nil {
+				return Profile{}, err
+			}
+			sawClause = true
+		}
+		start = next
+	}
+	if !sawClause {
+		return Profile{}, scenarioErr(spec, 0, "", "empty scenario")
 	}
 	return prof, nil
+}
+
+// parseClause parses one `kind:args` clause starting at byte offset cOff of
+// spec and folds it into prof.
+func parseClause(prof *Profile, spec, clause string, cOff int) error {
+	parts := strings.Split(clause, ":")
+	// offs[i] is the byte offset of parts[i] in spec, for error positions.
+	offs := make([]int, len(parts))
+	o := cOff
+	for i, p := range parts {
+		offs[i] = o
+		o += len(p) + 1
+	}
+	kind := parts[0]
+	args := parts[1:]
+	switch kind {
+	case "linkdown":
+		if len(args) < 2 || len(args) > 3 {
+			return scenarioErr(spec, cOff, clause, "wants linkdown:<link>:<at>[:<dur>]")
+		}
+		at, err := parseDuration(args[1])
+		if err != nil {
+			return scenarioErr(spec, offs[2], args[1], err.Error())
+		}
+		w := DownWindow{Link: args[0], At: at}
+		if len(args) == 3 {
+			if w.For, err = parseDuration(args[2]); err != nil {
+				return scenarioErr(spec, offs[3], args[2], err.Error())
+			}
+			if w.For <= 0 {
+				return scenarioErr(spec, offs[3], args[2], "outage length must be positive")
+			}
+		}
+		prof.Down = append(prof.Down, w)
+	case "ber", "drop", "corrupt", "losecpl":
+		if len(args) != 1 {
+			return scenarioErr(spec, cOff, clause, "wants "+kind+":<probability>")
+		}
+		p, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
+			return scenarioErr(spec, offs[1], args[0], "probability must be in [0, 1]")
+		}
+		switch kind {
+		case "ber":
+			prof.BER = p
+		case "drop":
+			prof.Drop = p
+		case "corrupt":
+			prof.Corrupt = p
+		case "losecpl":
+			prof.LoseCpl = p
+		}
+	case "stuck":
+		if len(args) != 1 {
+			return scenarioErr(spec, cOff, clause, "wants stuck:<descriptor-index>")
+		}
+		idx, err := strconv.Atoi(args[0])
+		if err != nil || idx < 0 {
+			return scenarioErr(spec, offs[1], args[0], "descriptor index must be a non-negative integer")
+		}
+		prof.Stuck = true
+		prof.StuckIndex = idx
+	default:
+		return scenarioErr(spec, cOff, kind, "unknown scenario clause (want linkdown/ber/drop/corrupt/losecpl/stuck)")
+	}
+	return nil
+}
+
+// FormatScenario renders a Profile back into the scenario spec syntax in a
+// canonical form: linkdown windows first (in order), then the probability
+// knobs, then stuck. Durations are emitted in integer picoseconds and
+// probabilities with strconv's shortest exact representation, so the output
+// re-parses to an equal Profile. A Profile with no faults formats to "".
+func FormatScenario(p Profile) string {
+	var clauses []string
+	for _, w := range p.Down {
+		c := "linkdown:" + w.Link + ":" + formatDuration(w.At)
+		if w.For != 0 {
+			c += ":" + formatDuration(w.For)
+		}
+		clauses = append(clauses, c)
+	}
+	for _, knob := range []struct {
+		kind string
+		p    float64
+	}{
+		{"ber", p.BER}, {"drop", p.Drop}, {"corrupt", p.Corrupt}, {"losecpl", p.LoseCpl},
+	} {
+		if knob.p != 0 {
+			clauses = append(clauses, knob.kind+":"+strconv.FormatFloat(knob.p, 'g', -1, 64))
+		}
+	}
+	if p.Stuck {
+		clauses = append(clauses, "stuck:"+strconv.Itoa(p.StuckIndex))
+	}
+	return strings.Join(clauses, ",")
+}
+
+func formatDuration(d units.Duration) string {
+	return strconv.FormatFloat(d.Picoseconds(), 'f', -1, 64) + "ps"
 }
 
 // durationSuffixes maps scenario-duration suffixes to their unit. Ordered
@@ -106,10 +211,14 @@ func parseDuration(s string) (units.Duration, error) {
 			continue
 		}
 		v, err := strconv.ParseFloat(strings.TrimSuffix(s, su.suffix), 64)
-		if err != nil || v < 0 {
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 			return 0, fmt.Errorf("bad duration %q", s)
 		}
-		return units.Duration(v * su.unit.Picoseconds()), nil
+		ps := v * su.unit.Picoseconds()
+		if ps >= float64(math.MaxInt64) {
+			return 0, fmt.Errorf("duration %q overflows", s)
+		}
+		return units.Duration(ps), nil
 	}
 	return 0, fmt.Errorf("duration %q needs a ps/ns/us/ms/s suffix", s)
 }

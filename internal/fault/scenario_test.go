@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tca/internal/units"
+)
+
+// TestScenarioErrorPositions: every parse error is a *ScenarioError that
+// points at the offending token's line and column — including clauses on
+// later lines of a multi-line spec file.
+func TestScenarioErrorPositions(t *testing.T) {
+	const unknownMsg = "unknown scenario clause (want linkdown/ber/drop/corrupt/losecpl/stuck)"
+	cases := []struct {
+		spec      string
+		line, col int
+		token     string
+		msg       string
+	}{
+		{"", 1, 1, "", "empty scenario"},
+		{" , ,", 1, 1, "", "empty scenario"},
+		{"flap:2e", 1, 1, "flap", unknownMsg},
+		{"ber:1e-7,flap:2e", 1, 10, "flap", unknownMsg},
+		{"ber:1e-7\nflap:2e", 2, 1, "flap", unknownMsg},
+		{"linkdown:2e", 1, 1, "linkdown:2e", "wants linkdown:<link>:<at>[:<dur>]"},
+		{"linkdown:2e:1us:2us:3us", 1, 1, "linkdown:2e:1us:2us:3us", "wants linkdown:<link>:<at>[:<dur>]"},
+		{"linkdown:2e:50", 1, 13, "50", `duration "50" needs a ps/ns/us/ms/s suffix`},
+		{"linkdown:2e:50us:0us", 1, 18, "0us", "outage length must be positive"},
+		{"linkdown:2e:50us:-3ns", 1, 18, "-3ns", `bad duration "-3ns"`},
+		{"ber:2", 1, 5, "2", "probability must be in [0, 1]"},
+		{"drop:nope", 1, 6, "nope", "probability must be in [0, 1]"},
+		{"ber", 1, 1, "ber", "wants ber:<probability>"},
+		{"stuck:-1", 1, 7, "-1", "descriptor index must be a non-negative integer"},
+		{"ber:0.1,\n  stuck:x", 2, 9, "x", "descriptor index must be a non-negative integer"},
+	}
+	for _, tc := range cases {
+		_, err := ParseScenario(tc.spec, 0)
+		if err == nil {
+			t.Errorf("ParseScenario(%q) accepted", tc.spec)
+			continue
+		}
+		var se *ScenarioError
+		if !errors.As(err, &se) {
+			t.Errorf("ParseScenario(%q): error %T is not *ScenarioError", tc.spec, err)
+			continue
+		}
+		if se.Line != tc.line || se.Col != tc.col || se.Token != tc.token || se.Msg != tc.msg {
+			t.Errorf("ParseScenario(%q) = %d:%d %q %q, want %d:%d %q %q",
+				tc.spec, se.Line, se.Col, se.Token, se.Msg, tc.line, tc.col, tc.token, tc.msg)
+		}
+	}
+}
+
+// TestScenarioErrorString pins the rendered error format scripts grep for.
+func TestScenarioErrorString(t *testing.T) {
+	_, err := ParseScenario("ber:2", 0)
+	const want = `fault: scenario 1:5: "2": probability must be in [0, 1]`
+	if err == nil || err.Error() != want {
+		t.Fatalf("error = %v, want %s", err, want)
+	}
+}
+
+// TestParseScenarioNewlines: newline is a clause separator equivalent to a
+// comma, and blank lines are skipped — the committed corpus spec files put
+// one clause per line.
+func TestParseScenarioNewlines(t *testing.T) {
+	prof, err := ParseScenario("linkdown:2e:50us\n\n  drop:0.01\nstuck:3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Down) != 1 || prof.Down[0].Link != "2e" || prof.Drop != 0.01 ||
+		!prof.Stuck || prof.StuckIndex != 3 {
+		t.Fatalf("bad profile: %+v", prof)
+	}
+}
+
+// TestFormatScenario: the canonical rendering, and that it re-parses to the
+// same Profile.
+func TestFormatScenario(t *testing.T) {
+	p, err := ParseScenario("stuck:3,ber:1e-7,linkdown:2e:50us,linkdown:0s:1ms:250ns", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatScenario(p)
+	want := "linkdown:2e:50000000ps,linkdown:0s:1000000000ps:250000ps,ber:1e-07,stuck:3"
+	if got != want {
+		t.Fatalf("FormatScenario = %q, want %q", got, want)
+	}
+	p2, err := ParseScenario(got, 7)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", got, err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("round trip changed profile: %+v vs %+v", p, p2)
+	}
+	if FormatScenario(Profile{Seed: 3}) != "" {
+		t.Fatal("fault-free profile formatted non-empty")
+	}
+	if at := p.Down[0].At; at != 50*units.Microsecond {
+		t.Fatalf("At = %v", at)
+	}
+}
+
+// FuzzParseScenario: any spec the parser accepts must survive a
+// format→re-parse round trip bit-identically, and any rejection must be a
+// positioned *ScenarioError.
+func FuzzParseScenario(f *testing.F) {
+	for _, seed := range []string{
+		"linkdown:2e:50us,ber:1e-7,drop:0.01,losecpl:0.5,stuck:3,corrupt:0.2",
+		"linkdown:0s:1ms:250ns\ndrop:0.25",
+		"ber:0",
+		"stuck:0",
+		"linkdown: 2e :1ns",
+		"corrupt:0x1p-3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p1, err := ParseScenario(spec, 42)
+		if err != nil {
+			var se *ScenarioError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseScenario(%q): error %T is not *ScenarioError", spec, err)
+			}
+			if se.Line < 1 || se.Col < 1 {
+				t.Fatalf("ParseScenario(%q): non-positive position %d:%d", spec, se.Line, se.Col)
+			}
+			return
+		}
+		out := FormatScenario(p1)
+		if out == "" {
+			if !reflect.DeepEqual(p1, Profile{Seed: 42}) {
+				t.Fatalf("non-trivial profile %+v formatted empty", p1)
+			}
+			return
+		}
+		p2, err := ParseScenario(out, 42)
+		if err != nil {
+			t.Fatalf("FormatScenario(%q parse) = %q does not re-parse: %v", spec, out, err)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("round trip changed profile:\n spec %q\n out  %q\n  %+v\nvs %+v", spec, out, p1, p2)
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"tca/internal/memory"
+	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/sim"
 	"tca/internal/units"
@@ -90,6 +91,10 @@ type GPU struct {
 	bytesIn   units.ByteSize
 	bytesOut  units.ByteSize
 
+	// led is the conservation ledger (nil when disabled): the GPU is the
+	// sink of every packet that lands in GDDR or is served from it.
+	led obsv.Ledger
+
 	watches []gpuWatch
 }
 
@@ -119,6 +124,13 @@ func New(eng *sim.Engine, name string, params Params) *GPU {
 
 // DevName implements pcie.Device.
 func (g *GPU) DevName() string { return g.name }
+
+// Instrument attaches the GPU to an observability set; today that is just
+// the conservation-ledger handle, so inbound writes and reads terminating
+// in GDDR are accounted as delivered.
+func (g *GPU) Instrument(set *obsv.Set) {
+	g.led = set.Ledger()
+}
 
 // Params returns the construction parameters.
 func (g *GPU) Params() Params { return g.params }
@@ -253,6 +265,9 @@ func (g *GPU) Accept(now sim.Time, t *pcie.TLP, port *pcie.Port) units.Duration 
 				w.fn(now, DevicePtr(off), units.ByteSize(len(t.Data)))
 			}
 		}
+		if g.led != nil && t.LID != 0 {
+			g.led.Delivered(now, t.LID, uint64(t.Addr), t.Data, g.name)
+		}
 		// The write terminated in GDDR: the GPU is the packet's sink.
 		t.Release()
 		// "The GPU is assumed to be of sufficient size for the request
@@ -260,13 +275,16 @@ func (g *GPU) Accept(now sim.Time, t *pcie.TLP, port *pcie.Port) units.Duration 
 		return 0
 	case pcie.MRd:
 		g.readTLPs++
+		if g.led != nil && t.LID != 0 {
+			g.led.Delivered(now, t.LID, uint64(t.Addr), nil, g.name)
+		}
 		req := *t
 		t.Release()
 		// The BAR translation unit works through the request in
 		// completion-sized units: a 512 B read costs two service slots.
 		// This is what pins inbound read bandwidth to ~256 B per
 		// service interval (≈830 MB/s) regardless of read-request size.
-		unitCount := (int64(t.ReadLen) + 255) / 256
+		unitCount := (int64(req.ReadLen) + 255) / 256
 		service := units.Duration(unitCount) * g.params.BARReadService
 		start := g.readSer.Reserve(now, service)
 		reply := start.Add(service).Add(g.params.BARReadLatency)

@@ -123,6 +123,11 @@ func (n *Node) Instrument(set *obsv.Set) {
 	for _, sw := range n.socks {
 		sw.Instrument(set)
 	}
+	for _, g := range n.gpus {
+		if g != nil {
+			g.Instrument(set)
+		}
+	}
 }
 
 // Profile registers the node with an engine profiler so host CPU time

@@ -39,6 +39,7 @@ type RootComplex struct {
 
 	// Observability (nil when disabled).
 	rec         *obsv.Recorder
+	led         obsv.Ledger
 	mDRAMWrites *obsv.Counter
 	mDRAMReads  *obsv.Counter
 	mQPI        *obsv.Counter
@@ -55,6 +56,7 @@ type rcWatch struct {
 func (rc *RootComplex) instrument(set *obsv.Set) {
 	reg := set.Registry()
 	rc.rec = set.Recorder()
+	rc.led = set.Ledger()
 	rc.mDRAMWrites = reg.Counter("dram_write_tlps", rc.DevName())
 	rc.mDRAMReads = reg.Counter("dram_read_tlps", rc.DevName())
 	rc.mQPI = reg.Counter("qpi_forwards", rc.DevName())
@@ -126,6 +128,9 @@ func (rc *RootComplex) writeDRAM(now sim.Time, t *pcie.TLP) {
 			w.fn(now, t.Txn)
 		}
 	}
+	if rc.led != nil && t.LID != 0 {
+		rc.led.Delivered(now, t.LID, uint64(t.Addr), t.Data, rc.DevName())
+	}
 	// The write terminated in DRAM: the root complex is the packet's sink.
 	t.Release()
 }
@@ -170,7 +175,11 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 			}
 			if rc.faults.LoseCompletion() {
 				// The read is accepted but its completion never leaves:
-				// the requester's completion timeout must recover.
+				// the requester's completion timeout must recover. The MRd
+				// itself still terminated here.
+				if rc.led != nil && t.LID != 0 {
+					rc.led.Delivered(now, t.LID, uint64(t.Addr), nil, rc.DevName())
+				}
 				t.Release()
 				return 0
 			}
@@ -181,6 +190,9 @@ func (rc *RootComplex) Accept(now sim.Time, t *pcie.TLP, in *pcie.Port) units.Du
 				// whole read turnaround is attributed as wait time.
 				rc.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageQueueEnter,
 					Where: rc.DevName(), Addr: uint64(t.Addr), Cause: obsv.CauseOutstandingRead})
+			}
+			if rc.led != nil && t.LID != 0 {
+				rc.led.Delivered(now, t.LID, uint64(t.Addr), nil, rc.DevName())
 			}
 			req := *t
 			t.Release()

@@ -1,0 +1,47 @@
+package obsv
+
+import "tca/internal/sim"
+
+// Ledger observes the lifecycle of every TLP that crosses an instrumented
+// link, so a fabric-wide conservation checker (internal/check) can prove
+// that each packet is exactly-once delivered, salvaged, or dropped with an
+// attributed cause. The interface lives here — next to Set — so pcie,
+// peach2, host, and gpu can report without importing the checker; all
+// parameters are primitives to keep obsv free of pcie types.
+//
+// The identity is a ledger ID (LID) minted by Born and carried in
+// pcie.TLP.LID. Links mint lazily: a packet's first transit of an
+// instrumented link is its birth; packets that never cross one (node-local
+// loopback traffic) keep LID 0 and every hook ignores them.
+type Ledger interface {
+	// Born registers a packet entering the conservation domain and returns
+	// its LID. kind is the TLP kind mnemonic, addr the target bus address,
+	// payload the packet's data (hashed, not retained), where the name of
+	// the minting link.
+	Born(now sim.Time, kind string, addr uint64, payload []byte, where string) uint64
+
+	// Delivered records the packet terminating at a sink (DRAM/GDDR write,
+	// chip-internal write or read service, completion handling). A second
+	// delivery is legal only for an idempotent posted write that was
+	// salvaged off a dying link after its ACK was lost — i.e. only with an
+	// intervening Parked and an identical payload.
+	Delivered(now sim.Time, lid uint64, addr uint64, payload []byte, where string)
+
+	// Dropped records an attributed intentional drop (no route after
+	// failover, stale completion after a chain error, salvage with no
+	// handler). Anything that vanishes without a Dropped call is a
+	// conservation violation at quiesce.
+	Dropped(now sim.Time, lid uint64, where, cause string)
+
+	// Parked records the packet entering a chip's parked list after
+	// link-death salvage; Unparked records its re-injection on reroute.
+	// Still-parked packets at quiesce count as salvaged, not lost.
+	Parked(now sim.Time, lid uint64, where string)
+	Unparked(now sim.Time, lid uint64, where string)
+
+	// LinkBytes accumulates wire bytes accepted by link dir ("ab"/"ba"),
+	// at the same call site as the link_bytes_tx counter, so the checker
+	// can cross-verify its own ledger against the metrics registry and
+	// Link.Stats.
+	LinkBytes(link, dir string, wireBytes uint64)
+}

@@ -38,6 +38,9 @@ type Set struct {
 	Reg *Registry
 	Rec *Recorder
 	Sam *Sampler
+	// Led is the optional TLP conservation ledger (see Ledger). Assign it
+	// before components Instrument themselves — they latch the handle then.
+	Led Ledger
 }
 
 // NewSet creates an enabled observability set whose span recorder retains
@@ -71,4 +74,12 @@ func (s *Set) Sampler() *Sampler {
 		return nil
 	}
 	return s.Sam
+}
+
+// Ledger returns the conservation ledger, or nil when disabled.
+func (s *Set) Ledger() Ledger {
+	if s == nil {
+		return nil
+	}
+	return s.Led
 }

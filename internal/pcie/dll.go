@@ -39,6 +39,12 @@ type DLLParams struct {
 	// MaxReplays is the replay budget: exceeding it declares the link
 	// dead instead of retrying forever.
 	MaxReplays int
+	// BreakSalvage deliberately discards the salvageable TLPs on link
+	// death instead of handing them to the DeadHandler — without telling
+	// the conservation ledger. It exists only to prove the invariant
+	// checker catches silent loss (cmd/tcafuzz -break-salvage); never set
+	// it in a real scenario.
+	BreakSalvage bool
 }
 
 // Default DLL parameters: a replay timer comfortably above one cable RTT,
@@ -162,11 +168,16 @@ func (l *Link) dllBufFull(di int) bool {
 }
 
 // divertDead handles a send into a dead direction: hand the TLP straight
-// to the salvage handler (the chip parks it for rerouting) or drop it.
+// to the salvage handler (the chip parks it for rerouting) or drop it,
+// telling the ledger the drop was deliberate.
 func (l *Link) divertDead(now sim.Time, di int, t *TLP) {
 	dd := &l.dll.dirs[di]
 	if dd.onDead != nil {
 		dd.onDead(now, []*TLP{t})
+		return
+	}
+	if l.led != nil && t.LID != 0 {
+		l.led.Dropped(now, t.LID, l.obsName, "sent into dead link, no salvage handler")
 	}
 }
 
@@ -365,8 +376,21 @@ func (l *Link) dieDLL(now sim.Time) {
 		dd.buf = nil
 		d.waiting = nil
 		d.inFlight = 0
-		if dd.onDead != nil && len(salvaged) > 0 {
+		if len(salvaged) == 0 {
+			continue
+		}
+		switch {
+		case l.dll.params.BreakSalvage:
+			// The injected conservation bug: the TLPs vanish without a
+			// Dropped attribution, which the ledger must flag at quiesce.
+		case dd.onDead != nil:
 			dd.onDead(now, salvaged)
+		default:
+			for _, t := range salvaged {
+				if l.led != nil && t.LID != 0 {
+					l.led.Dropped(now, t.LID, l.obsName, "link dead, no salvage handler")
+				}
+			}
 		}
 	}
 }

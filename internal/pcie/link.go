@@ -140,6 +140,7 @@ type Link struct {
 	// Observability (nil when disabled — all updates are no-ops then).
 	obsName  string
 	rec      *obsv.Recorder
+	led      obsv.Ledger
 	mTLPs    [2]*obsv.Counter
 	mBytes   [2]*obsv.Counter
 	mStalled [2]*obsv.Counter
@@ -216,8 +217,8 @@ func (l *Link) Instrument(set *obsv.Set, name string) {
 	reg := set.Registry()
 	l.obsName = name
 	l.rec = set.Recorder()
-	dirs := [2]string{"ab", "ba"}
-	for i, d := range dirs {
+	l.led = set.Ledger()
+	for i, d := range dirLabels {
 		l.mTLPs[i] = reg.Counter("link_tlps_tx", name, obsv.Label{Key: "dir", Value: d})
 		l.mBytes[i] = reg.Counter("link_bytes_tx", name, obsv.Label{Key: "dir", Value: d})
 		l.mStalled[i] = reg.Counter("link_credit_stalls", name, obsv.Label{Key: "dir", Value: d})
@@ -267,6 +268,10 @@ func (l *Link) registerProbes(sam *obsv.Sampler, name string) {
 	}
 }
 
+// dirLabels are the direction labels shared by the registry counters and
+// the conservation ledger: index 0 is the a→b direction of Connect order.
+var dirLabels = [2]string{"ab", "ba"}
+
 // Stats reports TLP and byte counts sent from port a→b and b→a.
 func (l *Link) Stats() (tlps [2]uint64, bytes [2]units.ByteSize) {
 	return l.tlpsSent, l.bytesSent
@@ -297,6 +302,12 @@ func (l *Link) send(now sim.Time, from *Port, t *TLP) {
 	l.bytesSent[di] += t.WireBytes()
 	l.mTLPs[di].Inc()
 	l.mBytes[di].Add(uint64(t.WireBytes()))
+	if l.led != nil {
+		if t.LID == 0 {
+			t.LID = l.led.Born(now, t.Kind.String(), uint64(t.Addr), t.Data, l.obsName)
+		}
+		l.led.LinkBytes(l.obsName, dirLabels[di], uint64(t.WireBytes()))
+	}
 	if d.inFlight >= l.params.CreditTLPs || l.dllBufFull(di) {
 		l.mStalled[di].Inc()
 		cause := obsv.CauseCredits

@@ -107,6 +107,11 @@ type TLP struct {
 	// store and DMA chain tags its packets so each hop can record a span
 	// event (internal/obsv). Zero means "untraced" and records nothing.
 	Txn uint64
+	// LID is the conservation-ledger identity (obsv.Ledger), minted lazily
+	// by the first instrumented link the packet crosses. Zero means
+	// "untracked". Copy-forwarding paths must carry it; a logically *new*
+	// packet (a read retry reissued under a fresh timeout) must clear it.
+	LID uint64
 
 	// pool is the free list Release returns the packet to; nil for
 	// unpooled packets (composite literals, SplitWrite products) and after

@@ -63,6 +63,7 @@ type Chip struct {
 	// Observability (all handles nil when uninstrumented — every update
 	// below is then a single-branch no-op).
 	rec *obsv.Recorder
+	led obsv.Ledger
 	cm  chipMetrics
 
 	// comp is the chip's host-time attribution tag (0 when unprofiled).
@@ -89,6 +90,7 @@ type chipMetrics struct {
 func (c *Chip) Instrument(set *obsv.Set) {
 	reg := set.Registry()
 	c.rec = set.Recorder()
+	c.led = set.Ledger()
 	for p := PortN; p <= PortS; p++ {
 		c.cm.tlpsIn[p] = reg.Counter("port_tlps_in", c.name, obsv.Label{Key: "port", Value: p.String()})
 		c.cm.bytesIn[p] = reg.Counter("port_bytes_in", c.name, obsv.Label{Key: "port", Value: p.String()})
@@ -254,6 +256,9 @@ func (c *Chip) parkTLP(now sim.Time, t *pcie.TLP) {
 	// the parked list still aliases them.
 	t.Pin()
 	c.parked = append(c.parked, t)
+	if c.led != nil && t.LID != 0 {
+		c.led.Parked(now, t.LID, c.name)
+	}
 	if c.rec != nil && t.Txn != 0 {
 		c.rec.Record(obsv.Event{At: now, Txn: t.Txn, Stage: obsv.StageLinkDown,
 			Where: c.name, Addr: uint64(t.Addr)})
@@ -283,7 +288,13 @@ func (c *Chip) flushParked() {
 			dst, err := c.route(t.Addr)
 			if err != nil {
 				c.nios.logEvent(fmt.Sprintf("dropped parked packet for %v: no route after failover", t.Addr))
+				if c.led != nil && t.LID != 0 {
+					c.led.Dropped(now, t.LID, c.name, "no route after failover")
+				}
 				continue
+			}
+			if c.led != nil && t.LID != 0 {
+				c.led.Unparked(now, t.LID, c.name)
 			}
 			switch dst {
 			case PortInternal:
@@ -555,6 +566,7 @@ func (c *Chip) forwardN(now sim.Time, t *pcie.TLP) {
 		out.Last = t.Last
 		out.Flush = t.Flush
 		out.Txn = t.Txn
+		out.LID = t.LID
 		out.SetPayload(t.Data)
 	}
 	out.Addr = local
@@ -670,6 +682,9 @@ func (c *Chip) acceptInternalWrite(now sim.Time, t *pcie.TLP) {
 			c.sendFlushAck(t.Requester, t.Txn)
 		}
 	}
+	if c.led != nil && t.LID != 0 {
+		c.led.Delivered(now, t.LID, uint64(t.Addr), t.Data, c.name)
+	}
 	// The write terminated here: the chip is the packet's sink.
 	t.Release()
 }
@@ -730,6 +745,9 @@ func (c *Chip) writeRouteRegister(off uint64, data []byte) {
 // serveInternalRead answers a host read of registers or internal memory.
 func (c *Chip) serveInternalRead(now sim.Time, t *pcie.TLP, in *pcie.Port) {
 	off := uint64(t.Addr - c.plan.Internal.Base)
+	if c.led != nil && t.LID != 0 {
+		c.led.Delivered(now, t.LID, uint64(t.Addr), nil, c.name)
+	}
 	req := *t
 	// The request terminated here; the reply below works from the copy.
 	t.Release()

@@ -241,6 +241,11 @@ func newDMAC(c *Chip) *DMAC {
 // Busy reports whether a chain is in flight.
 func (d *DMAC) Busy() bool { return d.state != dmacIdle }
 
+// OutstandingReads reports reads issued but not yet completed or
+// cancelled. At quiesce this must be zero — the invariant checker audits
+// it to prove no read was silently abandoned with its tag still held.
+func (d *DMAC) OutstandingReads() int { return d.tags.Outstanding() }
+
 func (d *DMAC) status() int {
 	if d.Busy() {
 		return 1
@@ -771,6 +776,10 @@ func (d *DMAC) armReadTimeout(mrd *pcie.TLP, st *readState, attempt int, gen uin
 				Note: fmt.Sprintf("attempt %d", attempt+1)})
 		}
 		retry := *mrd
+		// A retry is a logically new request, not the old packet moving
+		// again: clear the conservation-ledger identity so the fabric
+		// births it fresh instead of flagging a duplicate.
+		retry.LID = 0
 		d.chip.ports[PortN].Send(d.chip.eng.Now(), &retry)
 		d.armReadTimeout(mrd, st, attempt+1, gen)
 	})
@@ -822,6 +831,14 @@ func (d *DMAC) ChainErrors() uint64 { return d.errs }
 // so mismatches are logged and dropped instead of treated as fabric bugs.
 func (d *DMAC) handleCompletion(t *pcie.TLP) {
 	err := d.tags.HandleCompletion(t)
+	if d.chip.led != nil && t.LID != 0 {
+		now := d.chip.eng.Now()
+		if err != nil {
+			d.chip.led.Dropped(now, t.LID, d.chip.name, "stale completion after chain abort")
+		} else {
+			d.chip.led.Delivered(now, t.LID, uint64(t.Addr), t.Data, d.chip.name)
+		}
+	}
 	// The completion terminated here either way: release before any error
 	// handling so the stale-completion path cannot leak pooled packets.
 	t.Release()

@@ -1,0 +1,123 @@
+package scenariogen
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"tca/internal/fault"
+	"tca/internal/units"
+)
+
+// Generate builds a random, always-valid scenario from seed. Everything —
+// topology, op program, fault schedule — is drawn from one rand.Rand
+// seeded with the argument, so the same seed reproduces the same spec on
+// any machine; the generator touches no other source of randomness.
+func Generate(seed int64) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	s := Spec{Seed: seed}
+
+	if rng.Intn(2) == 0 {
+		s.DualRing = true
+		s.K = 2 + rng.Intn(MaxDualK-1) // 2..8 per ring
+	} else {
+		s.K = 2 + rng.Intn(MaxRingNodes-1) // 2..16 nodes
+	}
+
+	nOps := 1 + rng.Intn(12)
+	for i := 0; i < nOps; i++ {
+		s.Ops = append(s.Ops, genOp(rng, s.Nodes()))
+	}
+
+	// 40% of scenarios run on a perfect fabric — the invariant checker
+	// must hold there too, and those runs anchor the differential.
+	if rng.Intn(5) >= 2 {
+		s.Faults = genFaults(rng, s)
+	}
+	return s
+}
+
+func genOp(rng *rand.Rand, nodes int) Op {
+	pair := func() (int, int) { return rng.Intn(nodes), rng.Intn(nodes) }
+	switch rng.Intn(5) {
+	case 0:
+		src, dst := pair()
+		return Op{Kind: OpPIO, Src: src, Dst: dst, Bytes: 1 + rng.Intn(MaxPIOBytes)}
+	case 1:
+		src, dst := pair()
+		return Op{Kind: OpHostPut, Src: src, Dst: dst, Bytes: 1 + rng.Intn(SlotBytes)}
+	case 2:
+		src, dst := pair()
+		return Op{Kind: OpDMA, Src: src, SrcGPU: rng.Intn(2), Dst: dst, DstGPU: rng.Intn(2),
+			Bytes: 1 + rng.Intn(SlotBytes)}
+	case 3:
+		src, dst := pair()
+		blockLen := 1 + rng.Intn(MaxStrideBlock)
+		count := 1 + rng.Intn(MaxStrideCount)
+		// Keep the whole span inside one slot: stride in
+		// [blockLen, blockLen+slack] where slack spreads the remaining
+		// room across the count-1 gaps. count*blockLen never exceeds
+		// SlotBytes (16 blocks of at most 4 KiB in a 64 KiB slot), so
+		// slack is never negative.
+		stride := blockLen
+		if count > 1 {
+			if slack := (SlotBytes - count*blockLen) / (count - 1); slack > 0 {
+				stride += rng.Intn(slack + 1)
+			}
+		}
+		return Op{Kind: OpStride, Src: src, Dst: dst, BlockLen: blockLen, Count: count, Stride: stride}
+	default:
+		return Op{Kind: OpBarrier, Rounds: 1 + rng.Intn(MaxBarrierRounds)}
+	}
+}
+
+// genFaults draws 1..3 clauses of the fault.ParseScenario grammar, biased
+// so most scenarios remain recoverable: low bit/drop/corrupt rates that
+// the DLL replays through, lost completions the DMAC retries through, and
+// link cuts the failover path reroutes around.
+func genFaults(rng *rand.Rand, s Spec) string {
+	var p fault.Profile
+	for clauses := 1 + rng.Intn(3); clauses > 0; clauses-- {
+		switch rng.Intn(5) {
+		case 0:
+			p.BER = logUniform(rng, 1e-9, 1e-6)
+		case 1:
+			p.Drop = logUniform(rng, 1e-6, 1e-3)
+		case 2:
+			p.Corrupt = logUniform(rng, 1e-6, 1e-3)
+		case 3:
+			p.LoseCpl = logUniform(rng, 1e-4, 5e-2)
+		default:
+			w := fault.DownWindow{
+				Link: s.randomCable(rng),
+				At:   units.Microsecond * units.Duration(rng.Intn(300)),
+			}
+			// Half the cuts are flaps short enough to replay through;
+			// the rest are permanent and must fail over.
+			if rng.Intn(2) == 0 {
+				w.For = units.Microsecond * units.Duration(1+rng.Intn(20))
+			}
+			p.Down = append(p.Down, w)
+		}
+	}
+	return fault.FormatScenario(p)
+}
+
+func (s Spec) randomCable(rng *rand.Rand) string {
+	// S couplings have no redundant path, so cutting one is rarer.
+	if s.DualRing && rng.Intn(4) == 0 {
+		return scableName(rng.Intn(s.K))
+	}
+	return ringCableName(rng.Intn(s.Nodes()))
+}
+
+// Cable naming mirrors tcanet (RingCableName/SCableName); duplicated here
+// so the generator stays a leaf package with no simulator dependencies.
+func ringCableName(i int) string { return strconv.Itoa(i) + "e" }
+func scableName(i int) string    { return strconv.Itoa(i) + "s" }
+
+// logUniform draws from [lo, hi] uniformly in log space — fault rates are
+// interesting across orders of magnitude, not linearly.
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}

@@ -1,0 +1,153 @@
+package scenariogen
+
+import "tca/internal/fault"
+
+// MaxShrinkRuns bounds how many candidate scenarios Shrink may hand to the
+// failing predicate — each evaluation is a full simulation (or three, for
+// a differential), so the minimizer's budget must be explicit.
+const MaxShrinkRuns = 400
+
+// Shrink greedily minimizes a failing scenario: it tries progressively
+// smaller candidates (fewer fault clauses, fewer ops, smaller transfers, a
+// smaller sub-cluster) and keeps any candidate for which failing still
+// returns true, restarting from the reduced spec until a whole pass yields
+// no reduction or the run budget is spent. The caller's predicate must be
+// deterministic — with this repo's seeded simulator, re-running a spec is.
+//
+// The result is committable as-is: every candidate passes Validate before
+// it is ever run.
+func Shrink(s Spec, failing func(Spec) bool) Spec {
+	runs := 0
+	try := func(c Spec) bool {
+		if runs >= MaxShrinkRuns || c.Validate() != nil {
+			return false
+		}
+		runs++
+		return failing(c)
+	}
+	cur := s
+	for changed := true; changed; {
+		changed = false
+		for _, c := range candidates(cur) {
+			if try(c) {
+				cur = c
+				changed = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// candidates yields smaller variants of s, most aggressive first, so the
+// greedy loop takes the biggest reductions early.
+func candidates(s Spec) []Spec {
+	var out []Spec
+	add := func(c Spec) { out = append(out, c) }
+
+	// Drop the whole fault schedule, then individual clauses.
+	if s.Faults != "" {
+		c := s
+		c.Faults = ""
+		add(c)
+		for _, faults := range droppedFaultClauses(s.Faults) {
+			c := s
+			c.Faults = faults
+			add(c)
+		}
+	}
+
+	// Remove chunks of the op program: second half, first half, then
+	// each op alone.
+	if n := len(s.Ops); n > 1 {
+		add(s.withOps(s.Ops[:n/2]))
+		add(s.withOps(s.Ops[n/2:]))
+		for i := range s.Ops {
+			ops := make([]Op, 0, n-1)
+			ops = append(ops, s.Ops[:i]...)
+			ops = append(ops, s.Ops[i+1:]...)
+			add(s.withOps(ops))
+		}
+	}
+
+	// Shrink the sub-cluster. Candidates whose ops or link-down clauses
+	// reference removed nodes fail Validate and are skipped by Shrink.
+	for _, k := range []int{s.K / 2, s.K - 1} {
+		if k >= 2 && k != s.K {
+			c := s
+			c.K = k
+			add(c)
+		}
+	}
+	if s.DualRing {
+		c := s
+		c.DualRing = false
+		c.K = 2 * s.K // same node count, single ring
+		add(c)
+	}
+
+	// Halve transfer sizes and repeat counts, one op at a time.
+	for i, o := range s.Ops {
+		h := o
+		switch o.Kind {
+		case OpPIO, OpHostPut, OpDMA:
+			h.Bytes = o.Bytes / 2
+		case OpStride:
+			if o.Count > 1 {
+				h.Count = o.Count / 2
+			} else {
+				h.BlockLen = o.BlockLen / 2
+				if h.Stride > h.BlockLen*2 {
+					h.Stride = h.BlockLen * 2
+				}
+			}
+		case OpBarrier:
+			h.Rounds = o.Rounds / 2
+		}
+		if h != o {
+			ops := append([]Op(nil), s.Ops...)
+			ops[i] = h
+			add(s.withOps(ops))
+		}
+	}
+	return out
+}
+
+func (s Spec) withOps(ops []Op) Spec {
+	c := s
+	c.Ops = append([]Op(nil), ops...)
+	return c
+}
+
+// droppedFaultClauses parses the schedule and re-formats it with one
+// clause removed, for every clause: each down window, then each rate knob.
+func droppedFaultClauses(spec string) []string {
+	prof, err := fault.ParseScenario(spec, 0)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	add := func(p fault.Profile) {
+		if f := fault.FormatScenario(p); f != "" && f != spec {
+			out = append(out, f)
+		}
+	}
+	for i := range prof.Down {
+		p := prof
+		p.Down = append(append([]fault.DownWindow(nil), prof.Down[:i]...), prof.Down[i+1:]...)
+		add(p)
+	}
+	for _, clear := range []func(*fault.Profile){
+		func(p *fault.Profile) { p.BER = 0 },
+		func(p *fault.Profile) { p.Drop = 0 },
+		func(p *fault.Profile) { p.Corrupt = 0 },
+		func(p *fault.Profile) { p.LoseCpl = 0 },
+		func(p *fault.Profile) { p.Stuck = false; p.StuckIndex = 0 },
+	} {
+		p := prof
+		p.Down = append([]fault.DownWindow(nil), prof.Down...)
+		clear(&p)
+		add(p)
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+// Package scenariogen generates, parses, formats, and shrinks fuzz
+// scenarios for the fabric invariant checker (internal/check). A scenario
+// is a committable, line-oriented spec: a sub-cluster topology, a fault
+// schedule in the fault.ParseScenario grammar, and an ordered program of
+// driver operations (PIO stores, DMA chains, block-stride puts, collective
+// rounds). Every failing case the fuzzer finds is written back out in this
+// format, so a one-line `tcafuzz -replay` (or a committed regression test)
+// reproduces it exactly.
+package scenariogen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tca/internal/fault"
+)
+
+// Spec size limits. The runner slices each node's host and GPU buffers
+// into MaxOps slots of SlotBytes for sources and destinations, so every
+// op owns a disjoint region and the final memory image is independent of
+// delivery order — the property the faulty-vs-perfect differential relies
+// on.
+const (
+	// MaxOps bounds the op program (and so the per-buffer slot count).
+	MaxOps = 16
+	// SlotBytes is the per-op source/destination region: no op may read
+	// or write more than this.
+	SlotBytes = 64 << 10
+	// MaxPIOBytes bounds a single PIO store program (CPU stores are
+	// word-granular; hundreds of bytes is already generous).
+	MaxPIOBytes = 256
+	// MaxStrideBlock bounds one block of a block-stride transfer.
+	MaxStrideBlock = 4096
+	// MaxStrideCount bounds the block count of a block-stride transfer.
+	MaxStrideCount = 16
+	// MaxBarrierRounds bounds repeated collective rounds per op.
+	MaxBarrierRounds = 4
+	// MaxRingNodes / MaxDualK bound the topology (a sub-cluster is at
+	// most 16 nodes, §III-D).
+	MaxRingNodes = 16
+	MaxDualK     = 8
+)
+
+// OpKind enumerates the driver operations a scenario can issue.
+type OpKind uint8
+
+const (
+	// OpPIO is a CPU store program into a remote host buffer.
+	OpPIO OpKind = iota
+	// OpHostPut is a DMA put from one node's host buffer to another's.
+	OpHostPut
+	// OpDMA is a GPU-to-GPU put (the §III-H cudaMemcpyPeer extension).
+	OpDMA
+	// OpStride is a block-stride DMA put into a host buffer (§III-F2).
+	OpStride
+	// OpBarrier is one or more collective barrier rounds over all nodes.
+	OpBarrier
+)
+
+// Op is one step of the scenario's driver program. Ops run sequentially
+// (each completion triggers the next); PIO stores are fire-and-forget and
+// overlap whatever follows them.
+type Op struct {
+	Kind           OpKind
+	Src, Dst       int // node indices
+	SrcGPU, DstGPU int // 0 or 1: the two TCA-reachable GPUs (§III-C)
+	Bytes          int // pio/hostput/dma payload
+	// Block-stride geometry: Count blocks of BlockLen bytes, both sides
+	// advancing Stride per block.
+	BlockLen, Count, Stride int
+	Rounds                  int // barrier repetitions
+}
+
+// Spec is one complete fuzz scenario.
+type Spec struct {
+	// Seed drives the payload fill patterns and the fault injector's
+	// random stream.
+	Seed int64
+	// DualRing selects the Port-S-coupled two-ring topology (§III-D);
+	// K is the node count (single ring) or per-ring node count (dual).
+	DualRing bool
+	K        int
+	// Faults is a fault.ParseScenario schedule ("" = perfect fabric).
+	Faults string
+	// Ops is the driver program.
+	Ops []Op
+}
+
+// Nodes reports the sub-cluster size.
+func (s Spec) Nodes() int {
+	if s.DualRing {
+		return 2 * s.K
+	}
+	return s.K
+}
+
+// span is the destination footprint of an op inside its slot.
+func (o Op) span() int {
+	switch o.Kind {
+	case OpStride:
+		return o.Stride*(o.Count-1) + o.BlockLen
+	case OpBarrier:
+		return 0
+	default:
+		return o.Bytes
+	}
+}
+
+// Validate checks the spec against the runner's limits: topology bounds,
+// node/GPU indices, op sizes within their slots, and a parseable fault
+// schedule whose link-down clauses name cables the topology actually has.
+func (s Spec) Validate() error {
+	if s.DualRing {
+		if s.K < 2 || s.K > MaxDualK {
+			return fmt.Errorf("scenariogen: dual ring k=%d outside [2, %d]", s.K, MaxDualK)
+		}
+	} else if s.K < 2 || s.K > MaxRingNodes {
+		return fmt.Errorf("scenariogen: ring of %d nodes outside [2, %d]", s.K, MaxRingNodes)
+	}
+	if len(s.Ops) == 0 || len(s.Ops) > MaxOps {
+		return fmt.Errorf("scenariogen: %d ops outside [1, %d]", len(s.Ops), MaxOps)
+	}
+	n := s.Nodes()
+	for i, o := range s.Ops {
+		if err := o.validate(n); err != nil {
+			return fmt.Errorf("scenariogen: op %d: %v", i, err)
+		}
+	}
+	if s.Faults != "" {
+		prof, err := fault.ParseScenario(s.Faults, s.Seed)
+		if err != nil {
+			return fmt.Errorf("scenariogen: %v", err)
+		}
+		for _, w := range prof.Down {
+			if !s.validCable(w.Link) {
+				return fmt.Errorf("scenariogen: linkdown names cable %q which a %s does not have", w.Link, s.topoString())
+			}
+		}
+	}
+	return nil
+}
+
+func (o Op) validate(nodes int) error {
+	inRange := func(node int) bool { return node >= 0 && node < nodes }
+	switch o.Kind {
+	case OpPIO, OpHostPut:
+		if !inRange(o.Src) || !inRange(o.Dst) {
+			return fmt.Errorf("node pair %d->%d outside %d nodes", o.Src, o.Dst, nodes)
+		}
+		limit := SlotBytes
+		if o.Kind == OpPIO {
+			limit = MaxPIOBytes
+		}
+		if o.Bytes < 1 || o.Bytes > limit {
+			return fmt.Errorf("%d bytes outside [1, %d]", o.Bytes, limit)
+		}
+	case OpDMA:
+		if !inRange(o.Src) || !inRange(o.Dst) {
+			return fmt.Errorf("node pair %d->%d outside %d nodes", o.Src, o.Dst, nodes)
+		}
+		if o.SrcGPU < 0 || o.SrcGPU > 1 || o.DstGPU < 0 || o.DstGPU > 1 {
+			return fmt.Errorf("GPU pair %d->%d outside the TCA map (GPU0/GPU1 only)", o.SrcGPU, o.DstGPU)
+		}
+		if o.Bytes < 1 || o.Bytes > SlotBytes {
+			return fmt.Errorf("%d bytes outside [1, %d]", o.Bytes, SlotBytes)
+		}
+	case OpStride:
+		if !inRange(o.Src) || !inRange(o.Dst) {
+			return fmt.Errorf("node pair %d->%d outside %d nodes", o.Src, o.Dst, nodes)
+		}
+		if o.BlockLen < 1 || o.BlockLen > MaxStrideBlock {
+			return fmt.Errorf("block length %d outside [1, %d]", o.BlockLen, MaxStrideBlock)
+		}
+		if o.Count < 1 || o.Count > MaxStrideCount {
+			return fmt.Errorf("block count %d outside [1, %d]", o.Count, MaxStrideCount)
+		}
+		if o.Stride < o.BlockLen {
+			return fmt.Errorf("stride %d below block length %d (blocks must not self-overlap)", o.Stride, o.BlockLen)
+		}
+		if o.span() > SlotBytes {
+			return fmt.Errorf("stride span %d exceeds the %d-byte slot", o.span(), SlotBytes)
+		}
+	case OpBarrier:
+		if o.Rounds < 1 || o.Rounds > MaxBarrierRounds {
+			return fmt.Errorf("%d barrier rounds outside [1, %d]", o.Rounds, MaxBarrierRounds)
+		}
+	default:
+		return fmt.Errorf("unknown op kind %d", o.Kind)
+	}
+	return nil
+}
+
+// validCable reports whether a scenario link name ("2e", "0s") exists in
+// this topology: every chip owns the eastward ring cable named after it;
+// S cables exist only in a dual ring, one per peer pair.
+func (s Spec) validCable(name string) bool {
+	if len(name) < 2 {
+		return false
+	}
+	idx, err := strconv.Atoi(name[:len(name)-1])
+	if err != nil || idx < 0 {
+		return false
+	}
+	switch name[len(name)-1] {
+	case 'e':
+		return idx < s.Nodes()
+	case 's':
+		return s.DualRing && idx < s.K
+	}
+	return false
+}
+
+func (s Spec) topoString() string {
+	if s.DualRing {
+		return fmt.Sprintf("dualring %d", s.K)
+	}
+	return fmt.Sprintf("ring %d", s.K)
+}
+
+// Format renders the spec in its canonical committable form; Parse is its
+// exact inverse for valid specs.
+func Format(s Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	fmt.Fprintf(&b, "topo %s\n", s.topoString())
+	if s.Faults != "" {
+		fmt.Fprintf(&b, "faults %s\n", s.Faults)
+	}
+	for _, o := range s.Ops {
+		switch o.Kind {
+		case OpPIO:
+			fmt.Fprintf(&b, "op pio %d %d %d\n", o.Src, o.Dst, o.Bytes)
+		case OpHostPut:
+			fmt.Fprintf(&b, "op hostput %d %d %d\n", o.Src, o.Dst, o.Bytes)
+		case OpDMA:
+			fmt.Fprintf(&b, "op dma %d %d %d %d %d\n", o.Src, o.SrcGPU, o.Dst, o.DstGPU, o.Bytes)
+		case OpStride:
+			fmt.Fprintf(&b, "op stride %d %d %d %d %d\n", o.Src, o.Dst, o.BlockLen, o.Count, o.Stride)
+		case OpBarrier:
+			fmt.Fprintf(&b, "op barrier %d\n", o.Rounds)
+		}
+	}
+	return b.String()
+}
+
+// Parse reads a spec file: one directive per line, '#' comments and blank
+// lines ignored. The returned spec has passed Validate.
+func Parse(text string) (Spec, error) {
+	var s Spec
+	var sawSeed, sawTopo bool
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(msg string) (Spec, error) {
+			return Spec{}, fmt.Errorf("scenariogen: spec line %d: %s", ln+1, msg)
+		}
+		switch fields[0] {
+		case "seed":
+			if sawSeed {
+				return bad("duplicate seed directive")
+			}
+			if len(fields) != 2 {
+				return bad("want: seed <int64>")
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return bad(fmt.Sprintf("bad seed %q", fields[1]))
+			}
+			s.Seed, sawSeed = v, true
+		case "topo":
+			if sawTopo {
+				return bad("duplicate topo directive")
+			}
+			if len(fields) != 3 {
+				return bad("want: topo ring|dualring <n>")
+			}
+			switch fields[1] {
+			case "ring":
+				s.DualRing = false
+			case "dualring":
+				s.DualRing = true
+			default:
+				return bad(fmt.Sprintf("unknown topology %q (want ring or dualring)", fields[1]))
+			}
+			k, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return bad(fmt.Sprintf("bad node count %q", fields[2]))
+			}
+			s.K, sawTopo = k, true
+		case "faults":
+			if s.Faults != "" {
+				return bad("duplicate faults directive")
+			}
+			if len(fields) != 2 {
+				return bad("want: faults <scenario> (the fault.ParseScenario grammar, no spaces)")
+			}
+			s.Faults = fields[1]
+		case "op":
+			if len(fields) < 2 {
+				return bad("want: op <kind> <args>")
+			}
+			o, err := parseOp(fields[1], fields[2:])
+			if err != nil {
+				return bad(err.Error())
+			}
+			s.Ops = append(s.Ops, o)
+		default:
+			return bad(fmt.Sprintf("unknown directive %q", fields[0]))
+		}
+	}
+	if !sawSeed {
+		return Spec{}, fmt.Errorf("scenariogen: spec missing seed directive")
+	}
+	if !sawTopo {
+		return Spec{}, fmt.Errorf("scenariogen: spec missing topo directive")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+func parseOp(kind string, args []string) (Op, error) {
+	ints := make([]int, len(args))
+	for i, a := range args {
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return Op{}, fmt.Errorf("op %s: bad argument %q", kind, a)
+		}
+		ints[i] = v
+	}
+	arity := func(n int, usage string) error {
+		if len(ints) != n {
+			return fmt.Errorf("op %s: want: %s", kind, usage)
+		}
+		return nil
+	}
+	switch kind {
+	case "pio":
+		if err := arity(3, "op pio <src> <dst> <bytes>"); err != nil {
+			return Op{}, err
+		}
+		return Op{Kind: OpPIO, Src: ints[0], Dst: ints[1], Bytes: ints[2]}, nil
+	case "hostput":
+		if err := arity(3, "op hostput <src> <dst> <bytes>"); err != nil {
+			return Op{}, err
+		}
+		return Op{Kind: OpHostPut, Src: ints[0], Dst: ints[1], Bytes: ints[2]}, nil
+	case "dma":
+		if err := arity(5, "op dma <src> <srcgpu> <dst> <dstgpu> <bytes>"); err != nil {
+			return Op{}, err
+		}
+		return Op{Kind: OpDMA, Src: ints[0], SrcGPU: ints[1], Dst: ints[2], DstGPU: ints[3], Bytes: ints[4]}, nil
+	case "stride":
+		if err := arity(5, "op stride <src> <dst> <blocklen> <count> <stride>"); err != nil {
+			return Op{}, err
+		}
+		return Op{Kind: OpStride, Src: ints[0], Dst: ints[1], BlockLen: ints[2], Count: ints[3], Stride: ints[4]}, nil
+	case "barrier":
+		if err := arity(1, "op barrier <rounds>"); err != nil {
+			return Op{}, err
+		}
+		return Op{Kind: OpBarrier, Rounds: ints[0]}, nil
+	}
+	return Op{}, fmt.Errorf("unknown op kind %q (want pio/hostput/dma/stride/barrier)", kind)
+}

@@ -1,0 +1,117 @@
+package scenariogen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip: Parse must invert Format for generated specs across many
+// seeds — the property that makes failing cases committable.
+func TestRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		s := Generate(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid spec: %v", seed, err)
+		}
+		back, err := Parse(Format(s))
+		if err != nil {
+			t.Fatalf("seed %d: re-parse failed: %v\nspec:\n%s", seed, err, Format(s))
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("seed %d: round-trip changed the spec\nbefore:\n%s\nafter:\n%s",
+				seed, Format(s), Format(back))
+		}
+	}
+}
+
+// TestGenerateDeterministic: the generator draws only from its seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		if a, b := Format(Generate(seed)), Format(Generate(seed)); a != b {
+			t.Fatalf("seed %d generated two different specs:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestParseRejects: malformed specs fail with the offending line number.
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"empty", "", "missing seed"},
+		{"no topo", "seed 1\nop barrier 1\n", "missing topo"},
+		{"bad directive", "seed 1\ntopo ring 4\nflop pio 0 1 8\n", `line 3: unknown directive "flop"`},
+		{"bad op kind", "seed 1\ntopo ring 4\nop teleport 0 1\n", `unknown op kind "teleport"`},
+		{"bad arity", "seed 1\ntopo ring 4\nop pio 0 1\n", "want: op pio"},
+		{"node range", "seed 1\ntopo ring 4\nop pio 0 9 8\n", "outside 4 nodes"},
+		{"dup seed", "seed 1\nseed 2\ntopo ring 4\nop barrier 1\n", "line 2: duplicate seed"},
+		{"bad faults", "seed 1\ntopo ring 4\nfaults flap:2e\nop barrier 1\n", "unknown scenario clause"},
+		{"alien cable", "seed 1\ntopo ring 4\nfaults linkdown:2s:1us\nop barrier 1\n", `cable "2s"`},
+		{"stride overlap", "seed 1\ntopo ring 4\nop stride 0 1 128 4 64\n", "self-overlap"},
+		{"oversize dma", "seed 1\ntopo ring 4\nop dma 0 0 1 0 9999999\n", "outside [1, 65536]"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.text)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParseTolerance: comments, blank lines, and directive order do not
+// matter; the canonical Format is still produced.
+func TestParseTolerance(t *testing.T) {
+	s, err := Parse("# a failing case\n\ntopo dualring 2\nop dma 1 0 3 1 4096\nseed -7\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "seed -7\ntopo dualring 2\nop dma 1 0 3 1 4096\n"
+	if Format(s) != want {
+		t.Fatalf("canonical form:\n%q\nwant:\n%q", Format(s), want)
+	}
+}
+
+// TestShrinkConverges: shrinking against a predicate that keys on one op
+// must strip everything else and stay valid.
+func TestShrinkConverges(t *testing.T) {
+	s := Generate(11)
+	// Force a recognizable op into the middle and faults around it.
+	s.Ops = append(s.Ops, Op{Kind: OpDMA, Src: 0, Dst: 1 % s.Nodes(), Bytes: 40000})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	failing := func(c Spec) bool {
+		runs++
+		for _, o := range c.Ops {
+			if o.Kind == OpDMA && o.Bytes >= 1000 {
+				return true
+			}
+		}
+		return false
+	}
+	got := Shrink(s, failing)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("shrunk spec invalid: %v", err)
+	}
+	if !failing(got) {
+		t.Fatal("shrunk spec no longer fails")
+	}
+	if len(got.Ops) != 1 {
+		t.Fatalf("shrunk to %d ops, want 1:\n%s", len(got.Ops), Format(got))
+	}
+	if got.Faults != "" {
+		t.Fatalf("shrink kept irrelevant faults %q", got.Faults)
+	}
+	if got.Ops[0].Bytes >= 2000 {
+		t.Fatalf("shrink left bytes at %d, want < 2000", got.Ops[0].Bytes)
+	}
+	if runs > MaxShrinkRuns+2 {
+		t.Fatalf("shrink overspent its budget: %d runs", runs)
+	}
+}
