@@ -237,10 +237,14 @@ func run() int {
 			tab = e.Run(prm)
 		}
 		if *csv {
-			tab.CSV(os.Stdout)
+			if err := tab.CSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "tcabench: %s: rendering: %v\n", e.ID, err)
+				failed++
+			}
 			fmt.Println()
-		} else {
-			tab.Format(os.Stdout)
+		} else if err := tab.Format(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tcabench: %s: rendering: %v\n", e.ID, err)
+			failed++
 		}
 		if *check && e.Check != nil {
 			if err := e.Check(tab); err != nil {

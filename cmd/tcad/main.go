@@ -1,0 +1,109 @@
+// Command tcad runs the supervised simulation service: an HTTP/JSON
+// daemon that accepts scenario specs and sweep requests, schedules them
+// onto a worker pool (one sim.Engine per worker at a time), and serves
+// results with provenance, retries, backpressure, and a deterministic
+// result cache.
+//
+//	tcad -addr :7421 -workers 8 -checkpoint /var/lib/tcad/queue.json
+//
+// SIGTERM (or SIGINT) starts a graceful drain: readiness flips to 503,
+// in-flight jobs finish within the grace period, the pending queue is
+// checkpointed to disk, and the process exits 0. A restart with the same
+// -checkpoint completes the remainder.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"tca/internal/tcad"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr        = flag.String("addr", ":7421", "listen address")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		queueCap    = flag.Int("queue", 256, "admission queue capacity per priority lane")
+		retries     = flag.Int("retries", 2, "max retries for panicking/transient jobs before quarantine")
+		maxEvents   = flag.Uint64("max-events", 50_000_000, "default per-job engine event budget")
+		maxHost     = flag.Duration("max-host", 30*time.Second, "default per-job host wall-clock budget")
+		verifyEvery = flag.Int("verify-every", 0, "re-verify every Nth cache hit against a fresh run (0 = off)")
+		checkpoint  = flag.String("checkpoint", "", "path for the drain checkpoint (empty = no checkpointing)")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "tcad: ", log.LstdFlags)
+	srv, err := tcad.New(tcad.Config{
+		Workers:          *workers,
+		QueueCap:         *queueCap,
+		MaxRetries:       *retries,
+		DefaultMaxEvents: *maxEvents,
+		DefaultMaxHost:   *maxHost,
+		VerifyEvery:      *verifyEvery,
+		CheckpointPath:   *checkpoint,
+		DrainGrace:       *drainGrace,
+		Logf: func(format string, args ...any) {
+			logger.Printf(format, args...)
+		},
+	})
+	if err != nil {
+		logger.Printf("startup failed: %v", err)
+		return 1
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("serving on %s (%d workers, queue %d/lane)", *addr, effectiveWorkers(*workers), *queueCap)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		logger.Printf("listener failed: %v", err)
+		srv.Close()
+		return 1
+	case s := <-sig:
+		logger.Printf("received %v, draining (grace %v)", s, *drainGrace)
+	}
+
+	// Drain protocol: stop admitting (readyz flips to 503 immediately),
+	// finish in-flight work, checkpoint the remainder, then close the
+	// listener. Clients mid-request still get their responses.
+	drainErr := srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	<-errCh // ListenAndServe returns ErrServerClosed after Shutdown
+	if drainErr != nil {
+		// A grace-expired drain still checkpointed whatever was pending;
+		// report it but exit 0 so orchestrators treat the stop as clean.
+		logger.Printf("drain: %v", drainErr)
+	}
+	logger.Printf("drained, exiting")
+	return 0
+}
+
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -11,15 +11,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"tca/internal/check"
 	"tca/internal/scenariogen"
+	"tca/internal/sim"
 )
 
 func main() {
@@ -31,17 +34,30 @@ func main() {
 		breakSalvage = flag.Bool("break-salvage", false, "inject the deliberate salvage bug (checker must catch it)")
 		replay       = flag.String("replay", "", "re-run one spec file instead of generating a corpus")
 		verbose      = flag.Bool("v", false, "print every scenario as it runs")
+		budgetEvents = flag.Uint64("budget-events", 0, "per-run engine event budget (0 = unlimited; -soak defaults to 50M)")
+		budgetHost   = flag.Duration("budget-host", 0, "per-run host wall-clock budget (0 = unlimited; -soak defaults to 30s)")
 	)
 	flag.Parse()
 
-	opt := check.Options{BreakSalvage: *breakSalvage}
+	// A soak runs unattended: default budgets turn a hypothetical
+	// runaway scenario into a skipped case instead of a hung fuzzer.
+	if *soak {
+		if *budgetEvents == 0 {
+			*budgetEvents = 50_000_000
+		}
+		if *budgetHost == 0 {
+			*budgetHost = 30 * time.Second
+		}
+	}
+
+	opt := check.Options{BreakSalvage: *breakSalvage, MaxEvents: *budgetEvents, MaxHost: *budgetHost}
 
 	if *replay != "" {
 		os.Exit(replayFile(*replay, opt))
 	}
 
 	master := rand.New(rand.NewSource(*seed))
-	var ran, failed int
+	var ran, failed, skipped int
 	for i := 0; *soak || i < *corpus; i++ {
 		caseSeed := master.Int63()
 		spec := scenariogen.Generate(caseSeed)
@@ -52,8 +68,18 @@ func main() {
 		d, err := check.RunDiff(spec, opt)
 		ran++
 		if err != nil {
-			// Generate only emits Validate-clean specs; an error here is a
-			// fuzzer bug, not a fabric bug.
+			var be *sim.BudgetError
+			if errors.As(err, &be) {
+				// Budget exhaustion is a skip, not a crash: the case was
+				// too big for the allowance, which is exactly what the
+				// budget is for. Log it and keep fuzzing.
+				skipped++
+				fmt.Fprintf(os.Stderr, "tcafuzz: case %d (seed %d) skipped, budget exceeded: %v\n",
+					i, caseSeed, be)
+				continue
+			}
+			// Generate only emits Validate-clean specs; any other error
+			// here is a fuzzer bug, not a fabric bug.
 			fmt.Fprintf(os.Stderr, "tcafuzz: case %d (seed %d): %v\nspec:\n%s",
 				i, caseSeed, err, scenariogen.Format(spec))
 			os.Exit(2)
@@ -65,7 +91,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("ran %d scenarios, 0 failures (master seed %d)\n", ran, *seed)
+	fmt.Printf("ran %d scenarios, 0 failures, %d budget-skipped (master seed %d)\n", ran, skipped, *seed)
 	if *breakSalvage {
 		// The flag exists to prove the checker has teeth; a clean sweep
 		// with the bug armed means it does not.

@@ -20,9 +20,12 @@ func main() {
 		printFormula()
 		return
 	}
-	bench.TableI().Format(os.Stdout)
-	bench.TableII().Format(os.Stdout)
-	bench.TheoreticalPeak().Format(os.Stdout)
+	for _, tab := range []*bench.Table{bench.TableI(), bench.TableII(), bench.TheoreticalPeak()} {
+		if err := tab.Format(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tcaspec:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func printFormula() {

@@ -2,35 +2,55 @@
 // calibrated constants, separating what the TCA architecture gives from
 // what the parameter choices give.
 //
+// Local mode renders in-process; with -daemon it becomes a batch client
+// that submits each sweep to a running tcad daemon and streams results
+// back, sharing the daemon's result cache with every other client.
+//
 //	tcasweep -list
 //	tcasweep -sweep issue
 //	tcasweep -sweep cable,credits -csv
+//	tcasweep -daemon localhost:7421 -sweep all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"tca/internal/bench"
+	"tca/internal/tcad"
 	"tca/internal/tcanet"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tcasweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		sweep = flag.String("sweep", "all", "comma-separated sweep names, or 'all'")
-		list  = flag.Bool("list", false, "list available sweeps and exit")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		sweep  = fs.String("sweep", "all", "comma-separated sweep names, or 'all'")
+		list   = fs.Bool("list", false, "list available sweeps and exit")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		daemon = fs.String("daemon", "", "tcad daemon address (host:port); submit sweeps as batch jobs instead of running locally")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	reg := bench.Sweeps()
 	if *list {
 		for _, name := range bench.SweepNames() {
-			fmt.Println(" ", name)
+			fmt.Fprintln(stdout, " ", name)
 		}
-		return
+		return 0
 	}
 
 	var names []string
@@ -40,19 +60,154 @@ func main() {
 		for _, n := range strings.Split(*sweep, ",") {
 			n = strings.TrimSpace(n)
 			if _, ok := reg[n]; !ok {
-				fmt.Fprintf(os.Stderr, "tcasweep: unknown sweep %q (use -list)\n", n)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "tcasweep: unknown sweep %q (use -list)\n", n)
+				return 2
 			}
 			names = append(names, n)
 		}
 	}
+
+	if *daemon != "" {
+		return runRemote(*daemon, names, *csv, stdout, stderr)
+	}
+
+	// One failing sweep must not silence the rest, and must not let the
+	// command exit 0: each render runs supervised, failures are tallied,
+	// and the exit code reports them.
+	failed := 0
 	for _, n := range names {
-		tab := reg[n](tcanet.DefaultParams)
-		if *csv {
-			tab.CSV(os.Stdout)
-			fmt.Println()
-		} else {
-			tab.Format(os.Stdout)
+		if err := renderSweep(reg[n], n, *csv, stdout); err != nil {
+			failed++
+			fmt.Fprintf(stderr, "tcasweep: sweep %q failed: %v\n", n, err)
 		}
 	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "tcasweep: %d of %d sweeps failed\n", failed, len(names))
+		return 1
+	}
+	return 0
+}
+
+// renderSweep builds and renders one sweep under recover(), so a panic
+// inside an experiment is reported and counted instead of killing the
+// remaining sweeps with a zero exit code.
+func renderSweep(fn func(tcanet.Params) *bench.Table, name string, csv bool, w io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	tab := fn(tcanet.DefaultParams)
+	if csv {
+		if err := tab.CSV(w); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w)
+		return err
+	}
+	return tab.Format(w)
+}
+
+// runRemote submits each sweep to a tcad daemon, polls to completion,
+// and renders the returned tables locally. 503 sheds honor Retry-After.
+func runRemote(addr string, names []string, csv bool, stdout, stderr io.Writer) int {
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+	failed := 0
+	for _, n := range names {
+		tab, err := submitSweep(client, base, n)
+		if err != nil {
+			failed++
+			fmt.Fprintf(stderr, "tcasweep: sweep %q failed: %v\n", n, err)
+			continue
+		}
+		var rerr error
+		if csv {
+			if rerr = tab.CSV(stdout); rerr == nil {
+				_, rerr = fmt.Fprintln(stdout)
+			}
+		} else {
+			rerr = tab.Format(stdout)
+		}
+		if rerr != nil {
+			failed++
+			fmt.Fprintf(stderr, "tcasweep: sweep %q failed: %v\n", n, rerr)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "tcasweep: %d of %d sweeps failed\n", failed, len(names))
+		return 1
+	}
+	return 0
+}
+
+// submitSweep pushes one sweep job (retrying sheds per Retry-After) and
+// polls its status until a terminal state.
+func submitSweep(client *http.Client, base, name string) (*bench.Table, error) {
+	body, err := json.Marshal(tcad.Request{Sweep: name, Priority: "sweep"})
+	if err != nil {
+		return nil, err
+	}
+	var sub tcad.SubmitResponse
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if attempt >= 10 {
+				return nil, fmt.Errorf("daemon shed the job %d times", attempt+1)
+			}
+			wait := 2 * time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			time.Sleep(wait)
+			continue
+		}
+		err = decodeOrError(resp, &sub)
+		if err != nil {
+			return nil, err
+		}
+		break
+	}
+	deadline := time.Now().Add(10 * time.Minute)
+	for time.Now().Before(deadline) {
+		var st tcad.Status
+		resp, err := client.Get(base + "/jobs/" + strconv.FormatUint(sub.ID, 10))
+		if err != nil {
+			return nil, err
+		}
+		if err := decodeOrError(resp, &st); err != nil {
+			return nil, err
+		}
+		switch tcad.State(st.State) {
+		case tcad.StateSucceeded:
+			var res tcad.SweepResult
+			if err := json.Unmarshal(st.Result, &res); err != nil {
+				return nil, fmt.Errorf("decoding sweep result: %w", err)
+			}
+			return res.Table, nil
+		case tcad.StateFailed, tcad.StateQuarantined:
+			if st.Failure != nil {
+				return nil, fmt.Errorf("daemon reports %s: %s", st.Failure.Class, st.Failure.Message)
+			}
+			return nil, fmt.Errorf("daemon reports state %s", st.State)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("job %d did not finish within 10m", sub.ID)
+}
+
+// decodeOrError decodes a 2xx JSON body into out, or turns a non-2xx
+// response into an error carrying the body text.
+func decodeOrError(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		text, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("daemon: %s: %s", resp.Status, strings.TrimSpace(string(text)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }

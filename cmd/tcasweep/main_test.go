@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "cable") {
+		t.Fatalf("list output missing sweeps:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sweep", "no-such-sweep"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("stdout gone") }
+
+// A render failure mid-loop must surface as a non-zero exit, not a
+// truncated report with exit 0.
+func TestRunRenderFailureExitsNonZero(t *testing.T) {
+	var errb bytes.Buffer
+	if code := run([]string{"-sweep", "cable"}, failWriter{}, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "failed") {
+		t.Fatalf("stderr missing failure report: %s", errb.String())
+	}
+}

@@ -26,11 +26,13 @@ body must not schedule events, send TLPs, or append to shared state,
 because Go randomizes map order and the event queue breaks ties by
 scheduling sequence.
 
-One package is exempt from the wall-clock rule: internal/prof, which
+Two packages are exempt from the wall-clock rule: internal/prof, which
 wraps the host clock behind the monotonic HostNanos accessor that engine
-self-profiling measures the simulator with. Host readings there observe
-the run and never feed simulated state; every other package must go
-through prof.HostNanos or sim.Engine.Now.`,
+self-profiling measures the simulator with, and internal/tcad, the
+daemon controlplane whose timeouts, retry backoffs, and drain grace
+periods are host-side supervision and never feed simulated state. Every
+other package must go through prof.HostNanos or sim.Engine.Now.
+Randomness and map-order rules still apply in both.`,
 	Run: run,
 }
 
@@ -77,11 +79,18 @@ func appliesTo(path string) bool {
 	return strings.Contains(path, "/internal/")
 }
 
-// hostClockExempt reports whether the package holds the blessed host-clock
-// accessor (internal/prof, or its fixture twin). Only the wall-clock check
-// is waived there; randomness and map-order rules still apply.
+// hostClockExempt reports whether the package may touch the wall clock:
+// internal/prof holds the blessed host-clock accessor, and internal/tcad
+// is controlplane code (timeouts, backoff, drain deadlines) whose host
+// time never reaches an engine. Only the wall-clock check is waived;
+// randomness and map-order rules still apply. Fixture twins keep the
+// analyzer's own tests honest.
 func hostClockExempt(path string) bool {
-	return path == "tca/internal/prof" || path == "prof"
+	switch path {
+	case "tca/internal/prof", "prof", "tca/internal/tcad", "tcad":
+		return true
+	}
+	return false
 }
 
 func checkCall(pass *framework.Pass, call *ast.CallExpr) {

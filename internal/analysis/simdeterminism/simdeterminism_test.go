@@ -8,5 +8,5 @@ import (
 )
 
 func TestSimDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "simdet", "prof")
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "simdet", "prof", "tcad")
 }

@@ -1,0 +1,23 @@
+// Package tcad is the fixture twin of internal/tcad: daemon controlplane
+// code exempt from the wall-clock rule (timeouts, retry backoff, drain
+// grace periods are host-side supervision). Randomness and map-order
+// rules still apply.
+package tcad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoffThenRequeue mirrors the retry sleeper: host-time waits are fine
+// in the controlplane.
+func backoffThenRequeue(d time.Duration) {
+	time.Sleep(d)         // ok: exempted controlplane wait
+	_ = time.Now()        // ok: exempted latency stamp
+	t := time.NewTimer(d) // ok: exempted drain-grace timer
+	t.Stop()
+}
+
+func stillNoRandomness() {
+	_ = rand.Intn(4) // want `unseeded global randomness rand\.Intn`
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -77,7 +78,9 @@ func TestTableFormatAndCSV(t *testing.T) {
 	tab.AddRow("4KiB", "3.300", "0.830")
 	tab.AddNote("a note with %d", 42)
 	var buf bytes.Buffer
-	tab.Format(&buf)
+	if err := tab.Format(&buf); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
 	out := buf.String()
 	for _, want := range []string{"== X: test ==", "64B", "3.300", "note: a note with 42"} {
 		if !strings.Contains(out, want) {
@@ -85,7 +88,9 @@ func TestTableFormatAndCSV(t *testing.T) {
 		}
 	}
 	buf.Reset()
-	tab.CSV(&buf)
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
 	if !strings.Contains(buf.String(), "size,a,b") || !strings.Contains(buf.String(), "4KiB,3.300,0.830") {
 		t.Fatalf("CSV output wrong:\n%s", buf.String())
 	}
@@ -95,10 +100,39 @@ func TestCSVEscaping(t *testing.T) {
 	tab := &Table{ID: "X", Title: "t", XLabel: "k", Columns: []string{`va"l,ue`}}
 	tab.AddRow("a,b", `say "hi"`)
 	var buf bytes.Buffer
-	tab.CSV(&buf)
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, `"va""l,ue"`) || !strings.Contains(out, `"a,b","say ""hi"""`) {
 		t.Fatalf("CSV escaping wrong:\n%s", out)
+	}
+}
+
+// brokenWriter fails after n bytes, standing in for a full disk or a
+// closed pipe mid-render.
+type brokenWriter struct{ n int }
+
+func (w *brokenWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("sink broke")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), errors.New("sink broke")
+}
+
+func TestTableRenderPropagatesWriteErrors(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", XLabel: "k", Columns: []string{"a"}}
+	tab.AddRow("r1", "1")
+	tab.AddNote("n")
+	if err := tab.Format(&brokenWriter{n: 10}); err == nil {
+		t.Fatal("Format swallowed the write error")
+	}
+	if err := tab.CSV(&brokenWriter{n: 10}); err == nil {
+		t.Fatal("CSV swallowed the write error")
 	}
 }
 
@@ -132,7 +166,9 @@ func TestSpecTables(t *testing.T) {
 	}
 	peak := TheoreticalPeak()
 	var buf bytes.Buffer
-	peak.Format(&buf)
+	if err := peak.Format(&buf); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
 	if !strings.Contains(buf.String(), "3.66 GB/s") {
 		t.Fatalf("theoretical peak table missing 3.66 GB/s:\n%s", buf.String())
 	}

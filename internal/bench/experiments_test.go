@@ -21,7 +21,9 @@ func TestAllExperimentsReproducePaperShapes(t *testing.T) {
 		t.Run(e.ID, func(t *testing.T) {
 			tab := e.Run(prm)
 			var buf bytes.Buffer
-			tab.Format(&buf)
+			if err := tab.Format(&buf); err != nil {
+				t.Fatalf("Format: %v", err)
+			}
 			t.Logf("\n%s", buf.String())
 			if len(tab.Rows) == 0 {
 				t.Fatal("experiment produced no rows")

@@ -45,8 +45,27 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// Format renders the table as aligned text.
-func (t *Table) Format(w io.Writer) {
+// errWriter latches the first write error so the render loops stay
+// simple and the caller still learns the table never reached its sink
+// (a full disk or closed pipe mid-sweep must not exit 0).
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}
+
+// Format renders the table as aligned text. The returned error is the
+// first write error, if any.
+func (t *Table) Format(out io.Writer) error {
+	w := &errWriter{w: out}
 	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
 	widths := make([]int, len(t.Columns)+1)
 	widths[0] = len(t.XLabel)
@@ -83,6 +102,7 @@ func (t *Table) Format(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+	return w.err
 }
 
 func sum(xs []int) int {
@@ -94,8 +114,9 @@ func sum(xs []int) int {
 }
 
 // CSV renders the table as comma-separated values (notes become comment
-// lines).
-func (t *Table) CSV(w io.Writer) {
+// lines). The returned error is the first write error, if any.
+func (t *Table) CSV(out io.Writer) error {
+	w := &errWriter{w: out}
 	fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "# %s\n", n)
@@ -116,6 +137,7 @@ func (t *Table) CSV(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+	return w.err
 }
 
 func csvEscape(s string) string {

@@ -55,7 +55,9 @@ func RunDiff(spec scenariogen.Spec, opt Options) (*DiffResult, error) {
 	if spec.Faults != "" && !opt.PerfectFabric {
 		perfect := spec
 		perfect.Faults = ""
-		if d.Perfect, err = Run(perfect, Options{}); err != nil {
+		// The baseline drops the fault options but keeps the run budget:
+		// a perfect run of a budget-sized spec must not hang either.
+		if d.Perfect, err = Run(perfect, Options{MaxEvents: opt.MaxEvents, MaxHost: opt.MaxHost}); err != nil {
 			return nil, err
 		}
 		for _, v := range d.Perfect.Violations {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"time"
 
 	"tca/internal/coll"
 	"tca/internal/core"
@@ -11,6 +12,7 @@ import (
 	"tca/internal/obsv"
 	"tca/internal/pcie"
 	"tca/internal/peach2"
+	"tca/internal/prof"
 	"tca/internal/scenariogen"
 	"tca/internal/sim"
 	"tca/internal/tcanet"
@@ -27,7 +29,21 @@ type Options struct {
 	// baseline. A perfect run schedules no injector and no DLL, so it is
 	// byte-identical to a plain simulation of the same op program.
 	PerfectFabric bool
+	// MaxEvents / MaxHost bound each engine run (0 = unlimited). A run
+	// that exhausts either allowance returns a *sim.BudgetError instead
+	// of a Result; the host clock flows through the blessed
+	// prof.HostNanos accessor and never feeds simulated state, so two
+	// runs that both finish under budget stay bit-identical.
+	MaxEvents uint64
+	MaxHost   time.Duration
+	// KeepObs retains the run's observability set on Result.Obs so the
+	// caller can export spans (e.g. a Perfetto trace) after the run. Off
+	// by default: the set pins every recorded span in memory.
+	KeepObs bool
 }
+
+// Budgeted reports whether either run-budget dimension is armed.
+func (o Options) Budgeted() bool { return o.MaxEvents != 0 || o.MaxHost != 0 }
 
 // Result is one checked scenario run.
 type Result struct {
@@ -52,6 +68,9 @@ type Result struct {
 	// Transcript is a deterministic text rendering of the whole run;
 	// two runs of the same spec must produce identical transcripts.
 	Transcript []byte
+	// Obs is the run's observability set, retained only under
+	// Options.KeepObs — the handle a trace exporter needs.
+	Obs *obsv.Set
 
 	// linkLines are the per-link byte totals rendered into Transcript.
 	linkLines []string
@@ -104,7 +123,13 @@ func Run(spec scenariogen.Spec, opt Options) (*Result, error) {
 	}
 
 	led := NewLedger()
-	set := obsv.NewSet(256)
+	spanCap := 256
+	if opt.KeepObs {
+		// A retained set feeds a trace export; keep enough span events for
+		// every hop of a full MaxOps program.
+		spanCap = 1 << 16
+	}
+	set := obsv.NewSet(spanCap)
 	set.Led = led
 	sc.Instrument(set)
 
@@ -234,7 +259,20 @@ func Run(spec scenariogen.Spec, opt Options) (*Result, error) {
 	if execErr != nil {
 		return nil, execErr
 	}
-	eng.Run()
+	var hostStart int64
+	if opt.Budgeted() {
+		eng.SetHostClock(prof.HostNanos)
+		eng.SetBudget(opt.MaxEvents, opt.MaxHost)
+		hostStart = prof.HostNanos()
+	}
+	_, reason := eng.Run()
+	if reason.BudgetExceeded() {
+		return nil, &sim.BudgetError{
+			Reason: reason,
+			Events: eng.BudgetUsed(),
+			Host:   time.Duration(prof.HostNanos() - hostStart),
+		}
+	}
 	if execErr != nil {
 		return nil, execErr
 	}
@@ -277,6 +315,9 @@ func Run(spec scenariogen.Spec, opt Options) (*Result, error) {
 		r.checkEndToEnd()
 	}
 	r.Transcript = r.transcript(inj)
+	if opt.KeepObs {
+		r.Obs = set
+	}
 	return r, nil
 }
 

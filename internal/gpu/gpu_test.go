@@ -185,7 +185,7 @@ func TestBARReadSerializationCapsBandwidth(t *testing.T) {
 	for i := 0; i < reads; i++ {
 		port.Send(0, &pcie.TLP{Kind: pcie.MRd, Addr: bus + pcie.Addr(i*256), ReadLen: 256, Tag: uint8(i), Requester: 1})
 	}
-	end := eng.Run()
+	end, _ := eng.Run()
 	bw := units.Rate(reads*256, units.Duration(end))
 	if bw.MBps() < 700 || bw.MBps() > 900 {
 		t.Fatalf("inbound read bandwidth = %v, want ~830MB/s", bw)
@@ -213,7 +213,7 @@ func TestDeepWriteQueueNoBackpressure(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		port.Send(0, &pcie.TLP{Kind: pcie.MWr, Addr: bus + pcie.Addr(i*256), Data: make([]byte, 232)})
 	}
-	end := eng.Run()
+	end, _ := eng.Run()
 	// 64 × 256 B wire at 4 GB/s = 4096 ns, no stall.
 	if end != sim.Time(4096*units.Nanosecond) {
 		t.Fatalf("writes drained in %v, want 4096ns (wire rate)", end)
@@ -400,7 +400,7 @@ func TestBARReadServiceScalesWithRequestSize(t *testing.T) {
 	for i := 0; i < reads; i++ {
 		port.Send(0, &pcie.TLP{Kind: pcie.MRd, Addr: bus + pcie.Addr(i*512), ReadLen: 512, Tag: uint8(i), Requester: 1})
 	}
-	end := eng.Run()
+	end, _ := eng.Run()
 	bw := units.Rate(reads*512, units.Duration(end))
 	if bw.MBps() < 700 || bw.MBps() > 900 {
 		t.Fatalf("512B-request read bandwidth = %v, want the same ~830MB/s ceiling", bw)

@@ -208,7 +208,7 @@ func TestCrossQPIWriteThrottled(t *testing.T) {
 	for i := 0; i < tlps; i++ {
 		d.port.Send(0, &pcie.TLP{Kind: pcie.MWr, Addr: bus + pcie.Addr(i*256), Data: make([]byte, 256)})
 	}
-	end := eng.Run()
+	end, _ := eng.Run()
 	bw := units.Rate(tlps*256, units.Duration(end))
 	if bw.MBps() > 500 {
 		t.Fatalf("cross-QPI write bandwidth = %v, want few hundred MB/s", bw)

@@ -55,7 +55,7 @@ func (r *requester) read(addr pcie.Addr, n units.ByteSize) ([]byte, sim.Time) {
 		c.Requester = 1
 		r.port.Send(r.eng.Now(), c)
 	}
-	end := r.eng.Run()
+	end, _ := r.eng.Run()
 	if done != len(chunks) {
 		panic("not all read chunks completed")
 	}
@@ -154,7 +154,7 @@ func TestTargetDeepWriteQueueReturnsCreditInstantly(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		req.port.Send(0, &pcie.TLP{Kind: pcie.MWr, Addr: pcie.Addr(i * 256), Data: make([]byte, 232)})
 	}
-	end := eng.Run()
+	end, _ := eng.Run()
 	// 8 × 256 B wire at 4 GB/s = 512 ns: the 1 µs drain must NOT stall
 	// because the deep queue acks immediately.
 	if end != sim.Time(512*units.Nanosecond) {
@@ -175,7 +175,7 @@ func TestTargetWriteDrainBackpressures(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		req.port.Send(0, &pcie.TLP{Kind: pcie.MWr, Addr: pcie.Addr(i * 256), Data: make([]byte, 232)})
 	}
-	end := eng.Run()
+	end, _ := eng.Run()
 	// Third packet waits for the first credit (~1 µs), fourth for the
 	// second: completion well past 2 µs.
 	if end < sim.Time(2*units.Microsecond) {

@@ -111,7 +111,7 @@ func TestAttachingProfilerDoesNotChangeSimResults(t *testing.T) {
 		}
 		p.Attach(eng)
 		workload(eng, tags, 17)
-		final = eng.Run()
+		final, _ = eng.Run()
 		return final, eng.Executed()
 	}
 	f0, e0 := run(nil)

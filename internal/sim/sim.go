@@ -9,7 +9,9 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"tca/internal/units"
 )
@@ -57,6 +59,75 @@ type Action interface {
 	RunAction(now Time)
 }
 
+// StopReason reports why a Run returned: the queue drained, Stop was
+// called, or a run budget (event count or host wall-clock) was exhausted.
+// Budget stops leave the pending queue intact, so a supervisor can inspect
+// the stuck simulation or hand the engine back for a resumed run.
+type StopReason uint8
+
+const (
+	// StopDrained: the event queue is empty — the normal end of a run.
+	StopDrained StopReason = iota
+	// StopRequested: Stop was called from inside a handler.
+	StopRequested
+	// StopMaxEvents: the SetBudget event allowance was exhausted.
+	StopMaxEvents
+	// StopMaxHost: the SetBudget host wall-clock allowance was exhausted.
+	StopMaxHost
+)
+
+// String names the reason for logs and error messages.
+func (r StopReason) String() string {
+	switch r {
+	case StopDrained:
+		return "drained"
+	case StopRequested:
+		return "stopped"
+	case StopMaxEvents:
+		return "max-events"
+	case StopMaxHost:
+		return "max-host-time"
+	}
+	return fmt.Sprintf("StopReason(%d)", uint8(r))
+}
+
+// BudgetExceeded reports whether the reason is one of the two budget stops.
+func (r StopReason) BudgetExceeded() bool { return r == StopMaxEvents || r == StopMaxHost }
+
+// ErrBudgetExceeded is the sentinel all budget failures unwrap to, so
+// callers can errors.Is a run-too-long condition without matching on the
+// specific budget dimension.
+var ErrBudgetExceeded = errors.New("sim: run budget exceeded")
+
+// BudgetError is the typed failure a supervisor surfaces when an engine
+// run was cut off by its budget. It satisfies errors.Is(err,
+// ErrBudgetExceeded).
+type BudgetError struct {
+	// Reason is StopMaxEvents or StopMaxHost.
+	Reason StopReason
+	// Events is how many events ran under the budget before the stop.
+	Events uint64
+	// Host is the host wall-clock time the budgeted run consumed (zero
+	// when no host budget was armed).
+	Host time.Duration
+}
+
+func (e *BudgetError) Error() string {
+	if e.Reason == StopMaxHost {
+		return fmt.Sprintf("sim: run budget exceeded: host clock (%v elapsed, %d events)", e.Host, e.Events)
+	}
+	return fmt.Sprintf("sim: run budget exceeded: event count (%d events)", e.Events)
+}
+
+// Unwrap makes errors.Is(err, ErrBudgetExceeded) true.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// hostBudgetCheckInterval is how many events run between host-clock reads
+// when a host budget is armed. Reading the clock is ~20 ns; amortizing it
+// over 1024 events keeps the budgeted hot path within the events/sec gate
+// while still bounding overshoot to a few microseconds of simulation work.
+const hostBudgetCheckInterval = 1024
+
 // event is a scheduled callback. seq breaks timestamp ties so that events
 // scheduled earlier run earlier — the property that makes runs deterministic.
 // Exactly one of fn and act is set.
@@ -95,6 +166,18 @@ type Engine struct {
 	// exec, when non-nil, wraps every event execution (profiling). The
 	// disabled path costs one nil check per event and zero allocations.
 	exec Executor
+
+	// Run budget (SetBudget). budgetEvents/budgetHost of zero mean
+	// unlimited; budgetStart anchors the event allowance at the executed
+	// count when the budget was armed. The host clock is injected
+	// (SetHostClock) because this package must never read the wall clock
+	// itself — callers pass prof.HostNanos, the blessed accessor.
+	budgetEvents uint64
+	budgetHost   int64 // host nanoseconds
+	budgetStart  uint64
+	hostClock    func() int64
+	hostStart    int64
+	hostArmed    bool
 }
 
 // NewEngine returns an engine at time zero with an empty event queue.
@@ -273,13 +356,58 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or Stop is called. It returns
-// the time of the last executed event.
-func (e *Engine) Run() Time {
+// SetHostClock injects the monotonic host-nanosecond reader a host
+// wall-clock budget measures against (callers pass prof.HostNanos). The
+// engine never reads the wall clock itself: host time is a budget input
+// only and can never influence event order, so budgeted and unbudgeted
+// runs of the same workload stay bit-identical right up to the cutoff.
+func (e *Engine) SetHostClock(clock func() int64) { e.hostClock = clock }
+
+// SetBudget arms a run budget: Run returns StopMaxEvents after maxEvents
+// further events, or StopMaxHost once maxHost of host wall-clock time has
+// elapsed across budgeted runs (checked every hostBudgetCheckInterval
+// events through the injected SetHostClock reader). A zero value disarms
+// that dimension; SetBudget(0, 0) removes the budget entirely. A budget
+// stop preserves the pending queue, so the caller can inspect it or
+// resume with a fresh budget.
+func (e *Engine) SetBudget(maxEvents uint64, maxHost time.Duration) {
+	e.budgetEvents = maxEvents
+	e.budgetHost = maxHost.Nanoseconds()
+	e.budgetStart = e.executed
+	e.hostArmed = false
+}
+
+// BudgetUsed reports how many events have run since the budget was armed
+// (0 when SetBudget was never called).
+func (e *Engine) BudgetUsed() uint64 { return e.executed - e.budgetStart }
+
+// Run executes events until the queue drains, Stop is called, or the
+// armed budget runs out. It returns the time of the last executed event
+// and the typed reason the run ended. Budget checks cost two predictable
+// branches per event when disarmed and allocate nothing.
+func (e *Engine) Run() (Time, StopReason) {
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	if e.budgetHost > 0 && e.hostClock != nil && !e.hostArmed {
+		e.hostStart = e.hostClock()
+		e.hostArmed = true
 	}
-	return e.now
+	for {
+		if len(e.queue) == 0 {
+			return e.now, StopDrained
+		}
+		if e.budgetEvents != 0 && e.executed-e.budgetStart >= e.budgetEvents {
+			return e.now, StopMaxEvents
+		}
+		if e.budgetHost > 0 && e.hostClock != nil &&
+			(e.executed-e.budgetStart)%hostBudgetCheckInterval == 0 &&
+			e.hostClock()-e.hostStart >= e.budgetHost {
+			return e.now, StopMaxHost
+		}
+		e.Step()
+		if e.stopped {
+			return e.now, StopRequested
+		}
+	}
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the

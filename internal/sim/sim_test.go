@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"tca/internal/units"
 )
@@ -447,6 +450,167 @@ func TestHeapPopOrderMatchesSort(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStopThenRerunResumesBitIdentically(t *testing.T) {
+	// The same workload executed straight through and executed with a Stop
+	// in the middle plus a second Run must visit identical (time, id)
+	// sequences: Stop preserves the queue and the (at, seq) total order.
+	workload := func(e *Engine, visit func(id int)) {
+		for i, at := range []Time{40, 10, 30, 10, 20, 50, 30} {
+			i, at := i, at
+			e.At(at, func() {
+				visit(i)
+				if i%3 == 0 {
+					e.After(15, func() { visit(100 + i) })
+				}
+			})
+		}
+	}
+	type step struct {
+		id int
+		at Time
+	}
+	run := func(interrupt bool) []step {
+		e := NewEngine()
+		var got []step
+		count := 0
+		workload(e, func(id int) {
+			got = append(got, step{id, e.Now()})
+			count++
+			if interrupt && count == 4 {
+				e.Stop()
+			}
+		})
+		if _, reason := e.Run(); interrupt && reason != StopRequested {
+			t.Fatalf("interrupted Run reason = %v, want %v", reason, StopRequested)
+		}
+		if interrupt {
+			if e.Pending() == 0 {
+				t.Fatal("Stop drained the queue")
+			}
+			if _, reason := e.Run(); reason != StopDrained {
+				t.Fatalf("resumed Run reason = %v, want %v", reason, StopDrained)
+			}
+		}
+		return got
+	}
+	plain, resumed := run(false), run(true)
+	if len(plain) != len(resumed) {
+		t.Fatalf("resumed run visited %d events, plain %d", len(resumed), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != resumed[i] {
+			t.Fatalf("step %d diverged after resume: %+v vs %+v", i, plain[i], resumed[i])
+		}
+	}
+}
+
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(700)
+	if e.Now() != 700 {
+		t.Fatalf("Now() = %v after RunUntil on an empty queue, want 700", e.Now())
+	}
+	// A later RunUntil keeps advancing; an earlier one is a no-op, never a
+	// rewind.
+	e.RunUntil(900)
+	if e.Now() != 900 {
+		t.Fatalf("Now() = %v, want 900", e.Now())
+	}
+	e.RunUntil(100)
+	if e.Now() != 900 {
+		t.Fatalf("RunUntil in the past moved the clock to %v", e.Now())
+	}
+}
+
+func TestBudgetMaxEventsLeavesQueueIntact(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() { ran++ })
+	}
+	e.SetBudget(3, 0)
+	end, reason := e.Run()
+	if reason != StopMaxEvents {
+		t.Fatalf("reason = %v, want %v", reason, StopMaxEvents)
+	}
+	if ran != 3 || e.BudgetUsed() != 3 {
+		t.Fatalf("ran %d events (BudgetUsed %d), want 3", ran, e.BudgetUsed())
+	}
+	if end != 2 || e.Now() != 2 {
+		t.Fatalf("clock = %v after 3 events, want 2", e.Now())
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending() = %d after budget stop, want 7 (queue must stay inspectable)", e.Pending())
+	}
+	// Re-arming the budget resumes exactly where the cutoff left off.
+	e.SetBudget(0, 0)
+	if _, reason := e.Run(); reason != StopDrained {
+		t.Fatalf("resumed reason = %v, want %v", reason, StopDrained)
+	}
+	if ran != 10 {
+		t.Fatalf("ran %d events in total, want 10", ran)
+	}
+}
+
+func TestBudgetHostClockStops(t *testing.T) {
+	e := NewEngine()
+	// A self-rescheduling event makes the run unbounded; only the host
+	// budget can end it. The fake clock advances one "nanosecond" per
+	// read, so the deadline hits on the second budget check.
+	var tick func()
+	tick = func() { e.After(units.Nanosecond, tick) }
+	e.At(0, tick)
+	var fake int64
+	e.SetHostClock(func() int64 { fake++; return fake })
+	e.SetBudget(0, time.Duration(hostBudgetCheckInterval)*time.Nanosecond)
+	_, reason := e.Run()
+	if reason != StopMaxHost {
+		t.Fatalf("reason = %v, want %v", reason, StopMaxHost)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("host-budget stop left no queue to resume")
+	}
+	if used := e.BudgetUsed(); used == 0 || used%hostBudgetCheckInterval != 0 {
+		t.Fatalf("BudgetUsed() = %d, want a positive multiple of the %d-event check interval",
+			used, hostBudgetCheckInterval)
+	}
+}
+
+func TestBudgetErrorWrapsSentinel(t *testing.T) {
+	err := error(&BudgetError{Reason: StopMaxEvents, Events: 42})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal("BudgetError does not unwrap to ErrBudgetExceeded")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Events != 42 {
+		t.Fatalf("errors.As round-trip failed: %+v", be)
+	}
+	host := error(&BudgetError{Reason: StopMaxHost, Host: time.Second})
+	if !strings.Contains(host.Error(), "host clock") {
+		t.Fatalf("host-budget message %q does not name the dimension", host.Error())
+	}
+}
+
+// TestBudgetedRunZeroAllocs pins the acceptance requirement that the
+// budget check adds zero allocations to Step/Run: an armed event budget
+// (the daemon's default) must not disturb the allocs/event gate.
+func TestBudgetedRunZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(0, fn)
+	}
+	e.Run()
+	e.SetHostClock(func() int64 { return 0 })
+	e.SetBudget(1<<62, time.Hour)
+	if n := testing.AllocsPerRun(200, func() {
+		e.After(0, fn)
+		e.Run()
+	}); n != 0 {
+		t.Fatalf("budgeted schedule+run allocates %.1f allocs/event, want 0", n)
 	}
 }
 

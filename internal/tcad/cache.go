@@ -1,0 +1,69 @@
+package tcad
+
+import "bytes"
+
+// cacheEntry is one deterministic-result-cache slot, keyed by the job's
+// canonical cache key and guarded by Server.mu. An entry exists from the
+// moment the first submission is admitted — before the result is ready —
+// which is what gives Submit singleflight semantics: duplicates land on
+// the in-flight owner instead of spawning a second engine run.
+type cacheEntry struct {
+	// jobID is the owning (first-admitted) job.
+	jobID uint64
+	// done flips when the owner succeeds; result/transcript are then the
+	// exact bytes every duplicate submission is served.
+	done   bool
+	result []byte
+	// transcript is the internal/check transcript of the faulty run —
+	// the integrity mode's byte-comparison baseline (scenario jobs only).
+	transcript []byte
+	// hits counts deduplicated submissions; every VerifyEvery-th one
+	// triggers a background integrity re-run.
+	hits uint64
+	// verifyFailed latches if an integrity re-run ever diverged.
+	verifyFailed bool
+}
+
+// spawnVerify re-runs a cached scenario in the background and
+// byte-compares the fresh internal/check transcript against the cached
+// one. A divergence means the "deterministic" cache lied — the entry is
+// poisoned, a metric fires, and the operator log gets the evidence.
+func (s *Server) spawnVerify(owner *Job, want []byte) {
+	spec := owner.Spec
+	opt := owner.checkOptions()
+	key := owner.Key
+	id := owner.ID
+	// Registering with wg under mu closes the race against Drain: either
+	// the drain flag is already up (skip), or the Add lands before Drain's
+	// Wait can observe a zero counter.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		s.met.verifyRuns.Inc()
+		res, err := s.runner.RunScenario(spec, opt)
+		fresh := []byte(nil)
+		if err == nil && res != nil && res.Faulty != nil {
+			fresh = res.Faulty.Transcript
+		}
+		if err == nil && bytes.Equal(fresh, want) {
+			return
+		}
+		s.met.verifyFailures.Inc()
+		s.mu.Lock()
+		if e, ok := s.cache[key]; ok {
+			e.verifyFailed = true
+		}
+		s.mu.Unlock()
+		if err != nil {
+			s.cfg.Logf("tcad: cache verify of job %d errored: %v", id, err)
+		} else {
+			s.cfg.Logf("tcad: cache verify of job %d diverged: cached transcript %d bytes, fresh %d bytes", id, len(want), len(fresh))
+		}
+	}()
+}

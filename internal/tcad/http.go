@@ -1,0 +1,177 @@
+package tcad
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"tca/internal/check"
+	"tca/internal/obsv"
+)
+
+// Handler builds the daemon's HTTP API:
+//
+//	GET  /healthz          liveness (200 while the process serves)
+//	GET  /readyz           readiness (503 once draining)
+//	POST /jobs             submit {spec|sweep, priority, budgets}
+//	GET  /jobs             list all jobs in submission order
+//	GET  /jobs/{id}        one job's status, failure, and result
+//	GET  /jobs/{id}/trace  Perfetto trace of a succeeded scenario job
+//	GET  /metrics          daemon self-metrics (?format=prom|json|table)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.lookupJob(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, ErrQueueFull):
+		// Shed with an explicit retry hint: the queue holds bounded work,
+		// so a couple of seconds is an honest estimate.
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	code := http.StatusAccepted
+	if resp.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, resp)
+}
+
+// lookupJob resolves {id}; on failure it has already written the error.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (Status, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad job id", http.StatusBadRequest)
+		return Status{}, false
+	}
+	st, ok := s.JobStatus(id)
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return Status{}, false
+	}
+	return st, true
+}
+
+// handleTrace re-runs a succeeded scenario with observability retained
+// and streams the Perfetto trace. The re-run is cheap relative to
+// storing every trace, deterministic by construction, and supervised
+// like any job body.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	j := s.jobs[st.ID]
+	spec, kind, state := j.Spec, j.Kind, j.State
+	opt := j.checkOptions()
+	s.mu.Unlock()
+	if kind != KindScenario {
+		http.Error(w, "traces exist for scenario jobs only", http.StatusBadRequest)
+		return
+	}
+	if state != StateSucceeded {
+		http.Error(w, "job has no result to trace (state "+string(state)+")", http.StatusConflict)
+		return
+	}
+	var buf bytes.Buffer
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("trace run panicked: %v", r)
+			}
+		}()
+		res, err := s.runner.TraceScenario(spec, opt)
+		if err != nil {
+			return err
+		}
+		if res.Obs == nil {
+			return errors.New("trace run kept no observability")
+		}
+		return writePerfetto(&buf, res)
+	}()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=\"tcad-job-%d-trace.json\"", st.ID))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Registry.Snapshot(0)
+	switch r.URL.Query().Get("format") {
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		snap.WritePrometheus(w)
+	case "table":
+		w.Header().Set("Content-Type", "text/plain")
+		snap.WriteTable(w)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		_ = snap.WriteJSON(w)
+	}
+}
+
+// writePerfetto renders a KeepObs run as a Chrome trace_event file.
+func writePerfetto(w *bytes.Buffer, res *check.Result) error {
+	return obsv.WritePerfetto(w, res.Obs.Rec.Events(), res.Obs.Sam.Timeline())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

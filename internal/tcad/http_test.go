@@ -1,0 +1,223 @@
+package tcad
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestDaemon(t *testing.T) (*Server, *httptest.Server, *fakeRunner) {
+	t.Helper()
+	s, fake := newTestServer(t, Config{Workers: 2, QueueCap: 4})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, fake
+}
+
+func httpJSON[T any](t *testing.T, method, url, body string, wantCode int) T {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out T
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d, want %d", method, url, resp.StatusCode, wantCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding body: %v", method, url, err)
+	}
+	return out
+}
+
+func TestHTTPHealthAndReady(t *testing.T) {
+	s, ts, _ := newTestDaemon(t)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPSubmitLifecycle(t *testing.T) {
+	s, ts, _ := newTestDaemon(t)
+	text := spec(t, 51)
+	body, _ := json.Marshal(Request{Spec: text})
+
+	sub := httpJSON[SubmitResponse](t, "POST", ts.URL+"/jobs", string(body), http.StatusAccepted)
+	waitState(t, s, sub.ID, StateSucceeded)
+
+	// Duplicate returns 200 + cached:true.
+	dup := httpJSON[SubmitResponse](t, "POST", ts.URL+"/jobs", string(body), http.StatusOK)
+	if dup.ID != sub.ID || !dup.Cached {
+		t.Fatalf("dup = %+v, want id=%d cached=true", dup, sub.ID)
+	}
+
+	st := httpJSON[Status](t, "GET", ts.URL+"/jobs/"+itoa(sub.ID), "", http.StatusOK)
+	if st.State != string(StateSucceeded) || len(st.Result) == 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	var res ScenarioResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if res.Version != scenarioResultVersion || res.Spec != text {
+		t.Fatalf("payload = %+v", res)
+	}
+
+	list := httpJSON[[]Status](t, "GET", ts.URL+"/jobs", "", http.StatusOK)
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts, _ := newTestDaemon(t)
+	for _, c := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/jobs", "{not json", http.StatusBadRequest},
+		{"POST", "/jobs", `{"spec":"bogus"}`, http.StatusBadRequest},
+		{"POST", "/jobs", `{"unknown_field":1}`, http.StatusBadRequest},
+		{"GET", "/jobs/999", "", http.StatusNotFound},
+		{"GET", "/jobs/abc", "", http.StatusBadRequest},
+		{"GET", "/jobs/999/trace", "", http.StatusNotFound},
+	} {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Fatalf("%s %s: %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestHTTPShedSetsRetryAfter(t *testing.T) {
+	s, fake := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	fake.delay = 50 * time.Millisecond
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	sawShed := false
+	for i := 0; i < 10 && !sawShed; i++ {
+		body, _ := json.Marshal(Request{Spec: spec(t, 300+int64(i))})
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("503 without Retry-After")
+			}
+			sawShed = true
+		}
+	}
+	if !sawShed {
+		t.Fatalf("never shed across 10 rapid submissions with queue cap 1")
+	}
+}
+
+func TestHTTPTraceDownload(t *testing.T) {
+	s, ts, _ := newTestDaemon(t)
+	// The fake runner's TraceScenario delegates to the real simulator, so
+	// this exercises the full KeepObs → Perfetto path.
+	body, _ := json.Marshal(Request{Spec: spec(t, 61)})
+	sub := httpJSON[SubmitResponse](t, "POST", ts.URL+"/jobs", string(body), http.StatusAccepted)
+	waitState(t, s, sub.ID, StateSucceeded)
+
+	resp, err := http.Get(ts.URL + "/jobs/" + itoa(sub.ID) + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %d", resp.StatusCode)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "trace.json") {
+		t.Fatalf("Content-Disposition = %q", cd)
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatalf("trace has no events")
+	}
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	s, ts, _ := newTestDaemon(t)
+	body, _ := json.Marshal(Request{Spec: spec(t, 71)})
+	sub := httpJSON[SubmitResponse](t, "POST", ts.URL+"/jobs", string(body), http.StatusAccepted)
+	waitState(t, s, sub.ID, StateSucceeded)
+
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value uint64 `json:"value"`
+		} `json:"counters"`
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	found := map[string]uint64{}
+	for _, c := range snap.Counters {
+		found[c.Name] = c.Value
+	}
+	if found["tcad_jobs_submitted"] != 1 || found["tcad_jobs_succeeded"] != 1 {
+		t.Fatalf("metrics = %v", found)
+	}
+
+	prom, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prom.Body.Close()
+	text, err := io.ReadAll(prom.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "tcad_jobs_succeeded") {
+		t.Fatalf("prometheus exposition missing tcad counters:\n%s", text)
+	}
+}
+
+func itoa(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -1,0 +1,110 @@
+package tcad
+
+import "sync"
+
+// queue is the bounded two-lane admission queue. Interactive jobs always
+// dispatch before sweep jobs; within a lane, FIFO. push sheds when the
+// lane is at capacity; pushUnbounded bypasses the cap for retries and
+// checkpoint restores (those jobs were already admitted once — shedding
+// them would lose accepted work).
+//
+// Lock order: Server.mu may be held while taking q.mu (admission pushes
+// under Server.mu); the reverse never happens — pop releases q.mu before
+// the worker touches the job table.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lanes  [laneCount][]*Job
+	cap    int
+	closed bool
+	met    *metrics
+}
+
+func newQueue(capacity int, met *metrics) *queue {
+	q := &queue{cap: capacity, met: met}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a job to its lane, or returns ErrQueueFull / ErrDraining.
+func (q *queue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if len(q.lanes[j.Priority]) >= q.cap {
+		return ErrQueueFull
+	}
+	q.enqueueLocked(j)
+	return nil
+}
+
+// pushUnbounded enqueues past the cap (retries, checkpoint restore).
+// After close it silently drops: the drain checkpoint picks the job up
+// from its table state instead.
+func (q *queue) pushUnbounded(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.enqueueLocked(j)
+}
+
+func (q *queue) enqueueLocked(j *Job) {
+	q.lanes[j.Priority] = append(q.lanes[j.Priority], j)
+	q.met.queueDepth[j.Priority].Add(1)
+	q.cond.Signal()
+}
+
+// pop blocks for the next job, interactive lane first. ok is false once
+// the queue is closed and empty — the worker's exit signal. A closed
+// queue still drains whatever it holds, so close + pop loops finish
+// admitted work.
+func (q *queue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for pri := Priority(0); pri < laneCount; pri++ {
+			if lane := q.lanes[pri]; len(lane) > 0 {
+				j := lane[0]
+				lane[0] = nil
+				q.lanes[pri] = lane[1:]
+				q.met.queueDepth[pri].Add(-1)
+				return j, true
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close stops admission and wakes every blocked pop. Queued jobs drop:
+// callers that need them (drain) read the job table, not the queue.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for pri := range q.lanes {
+		q.met.queueDepth[pri].Add(-int64(len(q.lanes[pri])))
+		q.lanes[pri] = nil
+	}
+	q.cond.Broadcast()
+}
+
+// depth reports queued jobs per lane (for tests and /metrics sanity).
+func (q *queue) depth() [laneCount]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var d [laneCount]int
+	for pri := range q.lanes {
+		d[pri] = len(q.lanes[pri])
+	}
+	return d
+}

@@ -1,0 +1,45 @@
+package tcad
+
+import (
+	"fmt"
+
+	"tca/internal/bench"
+	"tca/internal/check"
+	"tca/internal/scenariogen"
+	"tca/internal/tcanet"
+)
+
+// Runner executes job bodies. The daemon uses DefaultRunner (the real
+// simulator); tests substitute runners that panic, hang, or fail
+// transiently to exercise the supervision machinery without needing a
+// genuinely broken simulator.
+type Runner interface {
+	// RunScenario executes the full differential protocol on one spec.
+	RunScenario(spec scenariogen.Spec, opt check.Options) (*check.DiffResult, error)
+	// TraceScenario executes one run with observability retained, for
+	// Perfetto trace export.
+	TraceScenario(spec scenariogen.Spec, opt check.Options) (*check.Result, error)
+	// RunSweep renders one named bench parameter sweep.
+	RunSweep(name string) (*bench.Table, error)
+}
+
+// DefaultRunner drives the real simulator through internal/check and
+// internal/bench.
+type DefaultRunner struct{}
+
+func (DefaultRunner) RunScenario(spec scenariogen.Spec, opt check.Options) (*check.DiffResult, error) {
+	return check.RunDiff(spec, opt)
+}
+
+func (DefaultRunner) TraceScenario(spec scenariogen.Spec, opt check.Options) (*check.Result, error) {
+	opt.KeepObs = true
+	return check.Run(spec, opt)
+}
+
+func (DefaultRunner) RunSweep(name string) (*bench.Table, error) {
+	fn, ok := bench.Sweeps()[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown sweep %q", name)
+	}
+	return fn(tcanet.DefaultParams), nil
+}
